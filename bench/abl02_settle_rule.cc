@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: the dispatch engine's settle-vs-wait rule. DESIGN.md
+ * calls this choice out: dispatching a layer onto a badly-matched
+ * dataflow "because it is idle" can be worse than a short wait for
+ * the preferred accelerator. settleFactor = 0 disables the rule
+ * (pure greedy highest-MapScore dispatch); larger factors tolerate
+ * ever worse placements before deferring.
+ */
+
+#include <cstdio>
+
+#include "runner/experiment.h"
+#include "runner/table.h"
+
+using namespace dream;
+
+int
+main()
+{
+    std::printf("Ablation: settle-vs-wait rule of the DREAM dispatch "
+                "engine\n\n");
+    for (const auto sys_preset : {hw::SystemPreset::Sys4k1Ws2Os,
+                                  hw::SystemPreset::Sys4k1Os2Ws}) {
+        const auto system = hw::makeSystem(sys_preset);
+        runner::Table t({"settleFactor", "VR_Gaming UXCost",
+                         "AR_Social UXCost"});
+        for (const double factor : {0.0, 1.5, 2.5, 5.0, 10.0}) {
+            std::vector<std::string> row{
+                factor == 0.0 ? "off" : runner::fmt(factor, 1)};
+            for (const auto sc :
+                 {workload::ScenarioPreset::VrGaming,
+                  workload::ScenarioPreset::ArSocial}) {
+                auto cfg = core::DreamConfig::full();
+                cfg.settleFactor = factor;
+                auto sched = runner::makeDream(cfg);
+                const auto agg = runner::runSeeds(
+                    system, workload::makeScenario(sc), *sched,
+                    runner::kDefaultWindowUs, runner::defaultSeeds());
+                row.push_back(runner::fmt(agg.uxCost, 4));
+            }
+            t.addRow(row);
+        }
+        std::printf("== %s ==\n", system.name.c_str());
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 12 reproduction: UXCost of VR_Gaming and AR_Social while
+ * sweeping the ML-cascade-pipeline probability from 50% to 99% on the
+ * 4K heterogeneous accelerators. The paper reports DREAM's advantage
+ * growing with system load, and smart frame drop / Supernet switching
+ * becoming effective: for AR_Social (99%) on 1WS+2OS,
+ * DREAM-SmartDrop reduces UXCost by 48.1% over DREAM-MapScore, and
+ * DREAM-Full by a further 65.5%.
+ */
+
+#include <cstdio>
+
+#include "runner/experiment.h"
+#include "runner/table.h"
+
+using namespace dream;
+
+int
+main()
+{
+    const auto seeds = runner::defaultSeeds();
+    const double probs[] = {0.5, 0.9, 0.99};
+    const workload::ScenarioPreset scenarios[] = {
+        workload::ScenarioPreset::VrGaming,
+        workload::ScenarioPreset::ArSocial};
+    const hw::SystemPreset systems[] = {
+        hw::SystemPreset::Sys4k1Ws2Os, hw::SystemPreset::Sys4k1Os2Ws};
+
+    for (const auto sys_preset : systems) {
+        const auto system = hw::makeSystem(sys_preset);
+        for (const auto sc_preset : scenarios) {
+            std::printf("== Figure 12: %s on %s ==\n",
+                        toString(sc_preset).c_str(),
+                        system.name.c_str());
+            runner::Table t({"CascadeProb", "FCFS", "Veltair",
+                             "Planaria", "DRM-Map", "DRM-Drop",
+                             "DRM-Full"});
+            for (const double prob : probs) {
+                const auto scenario =
+                    workload::makeScenario(sc_preset, prob);
+                std::vector<std::string> row{
+                    runner::fmtPct(prob, 0)};
+                for (const auto kind : runner::evaluationSchedulers()) {
+                    auto sched = runner::makeScheduler(kind);
+                    const auto agg = runner::runSeeds(
+                        system, scenario, *sched,
+                        runner::kDefaultWindowUs, seeds);
+                    row.push_back(runner::fmt(agg.uxCost, 4));
+                }
+                t.addRow(row);
+            }
+            t.print();
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 14 reproduction: which Supernet subnets DREAM-Full actually
+ * dispatched for the context-understanding OFA model, on the 4K
+ * heterogeneous accelerators, under light (50% cascade) and heavy
+ * (99% cascade) system load. The paper reports mostly the Original
+ * subnet under light load and a majority of lighter variants under
+ * heavy load.
+ */
+
+#include <cstdio>
+
+#include "runner/experiment.h"
+#include "runner/table.h"
+
+using namespace dream;
+
+int
+main()
+{
+    const hw::SystemPreset systems[] = {hw::SystemPreset::Sys4k1Ws2Os,
+                                        hw::SystemPreset::Sys4k1Os2Ws};
+    const workload::ScenarioPreset scenarios[] = {
+        workload::ScenarioPreset::VrGaming,
+        workload::ScenarioPreset::ArSocial};
+    const double probs[] = {0.5, 0.99};
+
+    std::printf("Figure 14: executed Supernet subnets under "
+                "DREAM-Full (shares of started frames)\n\n");
+    runner::Table t({"System", "Scenario", "Cascade", "Original",
+                     "v1", "v2", "v3 (lightest)"});
+    for (const auto sys_preset : systems) {
+        const auto system = hw::makeSystem(sys_preset);
+        for (const auto sc_preset : scenarios) {
+            for (const double prob : probs) {
+                const auto scenario =
+                    workload::makeScenario(sc_preset, prob);
+                auto sched =
+                    runner::makeScheduler(runner::SchedKind::DreamFull);
+                const auto agg = runner::runSeeds(
+                    system, scenario, *sched, runner::kDefaultWindowUs,
+                    runner::defaultSeeds());
+                // Find the Supernet task's variant tally.
+                std::vector<std::string> row{system.name,
+                                             toString(sc_preset),
+                                             runner::fmtPct(prob, 0)};
+                for (const auto& ts : agg.lastStats.tasks) {
+                    if (ts.variantStarts.empty())
+                        continue;
+                    uint64_t total = 0;
+                    for (const auto v : ts.variantStarts)
+                        total += v;
+                    for (const auto v : ts.variantStarts) {
+                        row.push_back(runner::fmtPct(
+                            total ? double(v) / double(total) : 0.0,
+                            0));
+                    }
+                }
+                t.addRow(row);
+            }
+        }
+    }
+    t.print();
+    std::printf("\npaper: >80%% Original under 50%% cascade; >40-60%% "
+                "lighter variants under heavy (99%%) load\n");
+    return 0;
+}

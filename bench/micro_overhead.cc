@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Scheduler-overhead microbenchmarks (google-benchmark): the cost of
+ * one MapScore evaluation, one full DREAM planning round, the
+ * analytical cost model, and cost-table lookups. The paper argues
+ * DREAM's scoring is light-weight enough to run at every scheduling
+ * event; these numbers quantify that for this implementation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dream_scheduler.h"
+#include "core/mapscore.h"
+#include "costmodel/cost_table.h"
+#include "costmodel/layer_cost.h"
+#include "models/zoo.h"
+#include "sim/scheduler.h"
+#include "workload/frame_source.h"
+#include "workload/scenario.h"
+
+using namespace dream;
+
+namespace {
+
+/** Fixture state: a populated SchedulerContext snapshot. */
+struct ContextFixture {
+    hw::SystemConfig system;
+    workload::Scenario scenario;
+    cost::CostTable costs;
+    std::vector<sim::AcceleratorState> accels;
+    std::vector<std::unique_ptr<sim::Request>> requests;
+    sim::RunStats stats;
+    sim::SchedulerContext ctx;
+
+    ContextFixture()
+        : system(hw::makeSystem(hw::SystemPreset::Sys4k1Ws2Os)),
+          scenario(workload::makeScenario(
+              workload::ScenarioPreset::VrGaming)),
+          costs(system)
+    {
+        for (const auto& t : scenario.tasks)
+            costs.addModel(t.model);
+        for (const auto& acc : system.accelerators) {
+            sim::AcceleratorState st;
+            st.config = &acc;
+            st.freeSlices = acc.numSlices;
+            accels.push_back(st);
+        }
+        workload::FrameSource source(scenario, 1);
+        const auto frames = source.rootFrames(2e5);
+        int id = 0;
+        for (const auto& f : frames) {
+            auto req = std::make_unique<sim::Request>();
+            req->id = id++;
+            req->task = f.task;
+            req->frameIdx = f.frameIdx;
+            req->arrivalUs = 0.0;
+            req->deadlineUs = f.deadlineUs;
+            req->path = f.path;
+            requests.push_back(std::move(req));
+            if (id >= 6)
+                break;
+        }
+        stats.tasks.resize(scenario.tasks.size());
+        ctx.nowUs = 0.0;
+        ctx.windowUs = 2e6;
+        ctx.system = &system;
+        ctx.costs = &costs;
+        ctx.scenario = &scenario;
+        ctx.accels = &accels;
+        ctx.stats = &stats;
+        for (const auto& r : requests) {
+            ctx.ready.push_back(r.get());
+            ctx.live.push_back(r.get());
+        }
+    }
+};
+
+ContextFixture&
+fixture()
+{
+    static ContextFixture f;
+    return f;
+}
+
+void
+BM_MapScoreSingle(benchmark::State& state)
+{
+    auto& f = fixture();
+    core::MapScoreEngine engine(1.0, 1.0);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto* req = f.ctx.ready[i % f.ctx.ready.size()];
+        const auto s =
+            engine.score(f.ctx, *req, i % f.ctx.numAccels());
+        benchmark::DoNotOptimize(s.mapScore);
+        ++i;
+    }
+}
+BENCHMARK(BM_MapScoreSingle);
+
+void
+BM_DreamPlanRound(benchmark::State& state)
+{
+    auto& f = fixture();
+    core::DreamScheduler sched(core::DreamConfig::full());
+    sched.reset(f.ctx);
+    for (auto _ : state) {
+        auto plan = sched.plan(f.ctx);
+        benchmark::DoNotOptimize(plan.dispatches.size());
+    }
+}
+BENCHMARK(BM_DreamPlanRound);
+
+void
+BM_CostModelEstimate(benchmark::State& state)
+{
+    const auto model = models::zoo::ssdMobileNetV2();
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k2Ws);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto& layer = model.layers[i % model.layers.size()];
+        const auto c =
+            cost::estimateLayer(layer, system.accelerators[0]);
+        benchmark::DoNotOptimize(c.latencyUs);
+        ++i;
+    }
+}
+BENCHMARK(BM_CostModelEstimate);
+
+void
+BM_CostTableLookup(benchmark::State& state)
+{
+    auto& f = fixture();
+    const auto& model = f.scenario.tasks[0].model;
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto& c = f.costs.cost(
+            model.layers[i % model.layers.size()], i % f.system.size());
+        benchmark::DoNotOptimize(c.latencyUs);
+        ++i;
+    }
+}
+BENCHMARK(BM_CostTableLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

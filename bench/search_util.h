@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the (alpha, beta) parameter-search benches
+ * (Figures 3, 10, 11, 13): an evaluator that scores a parameter pair
+ * by running a short simulation with fixed parameters, plus a grid
+ * scan that locates the global optimum for comparison.
+ */
+
+#ifndef DREAM_BENCH_SEARCH_UTIL_H
+#define DREAM_BENCH_SEARCH_UTIL_H
+
+#include <vector>
+
+#include "core/adaptivity.h"
+#include "runner/experiment.h"
+
+namespace dream {
+namespace bench {
+
+/** Window used for each parameter evaluation run. */
+constexpr double kSearchWindowUs = 1e6;
+
+/**
+ * Cost function over (alpha, beta): UXCost (or another objective) of
+ * a fixed-parameter DREAM run on (system, scenario).
+ */
+inline core::CostFn
+makeEvaluator(const hw::SystemConfig& system,
+              const workload::Scenario& scenario,
+              metrics::Objective objective = metrics::Objective::UxCost,
+              uint64_t seed = 11)
+{
+    return [&system, &scenario, objective, seed](double a, double b) {
+        core::DreamConfig cfg = core::DreamConfig::fixedParams(a, b);
+        cfg.smartDrop = true;
+        core::DreamScheduler sched(cfg);
+        const auto r = runner::runOnce(system, scenario, sched,
+                                       kSearchWindowUs, seed);
+        return metrics::evaluate(objective, r.stats);
+    };
+}
+
+/** One grid point of the parameter-space scan. */
+struct GridPoint {
+    double alpha, beta, cost;
+};
+
+/** Scan [0,2]^2 on an n x n grid; returns points and the minimum. */
+inline std::vector<GridPoint>
+scanGrid(const core::CostFn& cost, int n, GridPoint* best_out)
+{
+    std::vector<GridPoint> points;
+    GridPoint best{0, 0, 1e300};
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const double a = 2.0 * i / (n - 1);
+            const double b = 2.0 * j / (n - 1);
+            const double c = cost(a, b);
+            points.push_back({a, b, c});
+            if (c < best.cost)
+                best = {a, b, c};
+        }
+    }
+    if (best_out)
+        *best_out = best;
+    return points;
+}
+
+} // namespace bench
+} // namespace dream
+
+#endif // DREAM_BENCH_SEARCH_UTIL_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 2 reproduction: the eight evaluated accelerator systems
+ * (sizes, styles, dataflow partitioning) plus the shared memory
+ * parameters the paper specifies (8 MiB SRAM, 90 GB/s, 700 MHz).
+ */
+
+#include <cstdio>
+
+#include "hw/system.h"
+#include "runner/table.h"
+
+using namespace dream;
+
+int
+main()
+{
+    std::printf("Table 2: evaluated accelerator hardware settings\n\n");
+    runner::Table t({"System", "Total PEs", "Style",
+                     "Sub-accelerators"});
+    for (const auto preset : hw::allSystemPresets()) {
+        const auto sys = hw::makeSystem(preset);
+        std::string subs;
+        for (const auto& acc : sys.accelerators) {
+            if (!subs.empty())
+                subs += " + ";
+            subs += toString(acc.dataflow) + "(" +
+                    std::to_string(acc.numPes) + ")";
+        }
+        t.addRow({sys.name, std::to_string(sys.totalPes()),
+                  sys.homogeneous() ? "Homogeneous" : "Heterogeneous",
+                  subs});
+    }
+    t.print();
+
+    const auto probe = hw::makeSystem(hw::SystemPreset::Sys4k2Ws);
+    const auto& acc = probe.accelerators.front();
+    std::printf("\nshared parameters: %.0f MiB SRAM, %.0f GB/s "
+                "off-chip bandwidth, %.0f MHz clock, %u slices per "
+                "accelerator\n",
+                double(acc.sramBytes) / (1024.0 * 1024.0), acc.dramGbps,
+                acc.clockMhz, acc.numSlices);
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "core/dream_config.h"
+
+namespace dream {
+namespace core {
+
+DreamConfig
+DreamConfig::mapScore()
+{
+    DreamConfig c;
+    c.paramOptimization = true;
+    c.smartDrop = false;
+    c.supernetSwitch = false;
+    return c;
+}
+
+DreamConfig
+DreamConfig::smartDropConfig()
+{
+    DreamConfig c = mapScore();
+    c.smartDrop = true;
+    return c;
+}
+
+DreamConfig
+DreamConfig::full()
+{
+    DreamConfig c = smartDropConfig();
+    c.supernetSwitch = true;
+    return c;
+}
+
+DreamConfig
+DreamConfig::fixedParams(double alpha, double beta)
+{
+    DreamConfig c;
+    c.alpha = alpha;
+    c.beta = beta;
+    c.paramOptimization = false;
+    c.smartDrop = false;
+    c.supernetSwitch = false;
+    return c;
+}
+
+} // namespace core
+} // namespace dream

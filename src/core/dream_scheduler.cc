@@ -1,0 +1,155 @@
+#include "core/dream_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "sim/cost_cache.h"
+
+namespace dream {
+namespace core {
+
+namespace {
+
+/**
+ * True when deferring @p req until a well-matched accelerator frees
+ * up still leaves enough slack to finish in time.
+ */
+bool
+waitIsSafe(const sim::SchedulerContext& ctx, const sim::Request& req,
+           double best_next_lat, const DreamConfig& cfg)
+{
+    const models::Layer& next = req.path[req.nextLayer];
+    double earliest_free = std::numeric_limits<double>::max();
+    for (size_t a = 0; a < ctx.numAccels(); ++a) {
+        const double lat = ctx.costs->cost(next, a).latencyUs;
+        if (lat <= cfg.settleFactor * best_next_lat) {
+            const auto& acc = ctx.accel(a);
+            earliest_free = std::min(
+                earliest_free,
+                acc.idle() ? ctx.nowUs : acc.busyUntilUs);
+        }
+    }
+    if (earliest_free == std::numeric_limits<double>::max())
+        return false;
+    const double slack = req.deadlineUs - ctx.nowUs;
+    const double wait = earliest_free - ctx.nowUs;
+    // Optimistic remaining time once the preferred accelerator frees.
+    double min_to_go = 0.0;
+    {
+        const auto& cache = sim::ensureCostCache(req, *ctx.costs);
+        min_to_go = cache.suffixMin[req.nextLayer];
+    }
+    return wait + min_to_go <= cfg.waitSafety * slack;
+}
+
+} // anonymous namespace
+
+DreamScheduler::DreamScheduler(DreamConfig config)
+    : config_(config), engine_(config.alpha, config.beta),
+      dropEngine_(config), supernetEngine_(config), tuner_(config)
+{
+}
+
+std::string
+DreamScheduler::name() const
+{
+    std::string base;
+    if (!config_.paramOptimization)
+        base = "DREAM-Fixed";
+    else if (!config_.smartDrop)
+        base = "DREAM-MapScore";
+    else if (!config_.supernetSwitch)
+        base = "DREAM-SmartDrop";
+    else
+        base = "DREAM-Full";
+    if (config_.objective != metrics::Objective::UxCost) {
+        base += "[";
+        base += metrics::toString(config_.objective);
+        base += "]";
+    }
+    return base;
+}
+
+void
+DreamScheduler::reset(const sim::SchedulerContext& ctx)
+{
+    (void)ctx;
+    engine_.setParams(config_.alpha, config_.beta);
+    tuner_ = OnlineTuner(config_);
+}
+
+sim::Plan
+DreamScheduler::plan(const sim::SchedulerContext& ctx)
+{
+    sim::Plan p;
+
+    // Adaptivity engine: advance online tuning without blocking
+    // the dispatch flow.
+    p.wakeUpUs = tuner_.update(ctx, engine_);
+
+    // Smart frame drop: retire at most one doomed frame per round;
+    // the simulator re-invokes us with the refreshed state.
+    if (config_.smartDrop) {
+        if (const auto victim = dropEngine_.selectDrop(ctx, engine_)) {
+            p.drops.push_back({*victim});
+            return p;
+        }
+    }
+
+    // Job assignment: highest-MapScore (request, accelerator) pair
+    // among ready heads and idle accelerators. A pair whose
+    // accelerator is far off the request's best latency is skipped
+    // while waiting for a preferred accelerator still meets the
+    // deadline — dispatching a 60 FPS vision layer onto a 10x-slower
+    // dataflow "because it is idle" is worse than a short wait
+    // (the current-system-load consideration of Section 3.1).
+    const sim::Request* best_req = nullptr;
+    size_t best_acc = 0;
+    double best_score = -std::numeric_limits<double>::max();
+    for (const auto* req : ctx.ready) {
+        const models::Layer& next = req->path[req->nextLayer];
+        double best_lat = std::numeric_limits<double>::max();
+        for (size_t a = 0; a < ctx.numAccels(); ++a)
+            best_lat = std::min(best_lat,
+                                ctx.costs->cost(next, a).latencyUs);
+        for (size_t a = 0; a < ctx.numAccels(); ++a) {
+            if (!ctx.accel(a).idle())
+                continue;
+            const double lat_here =
+                ctx.costs->cost(next, a).latencyUs;
+            if (config_.settleFactor > 0.0 &&
+                lat_here > config_.settleFactor * best_lat &&
+                waitIsSafe(ctx, *req, best_lat, config_)) {
+                continue;
+            }
+            const ScoreBreakdown s = engine_.score(ctx, *req, a);
+            if (s.mapScore > best_score) {
+                best_score = s.mapScore;
+                best_req = req;
+                best_acc = a;
+            }
+        }
+    }
+    if (!best_req)
+        return p;
+
+    // Supernet switching at (or before) the switch point.
+    if (config_.supernetSwitch) {
+        if (const auto variant =
+                supernetEngine_.chooseVariant(ctx, engine_, *best_req)) {
+            p.switches.push_back({best_req->id, *variant});
+        }
+    }
+
+    sim::Dispatch d;
+    d.requestId = best_req->id;
+    d.numLayers = 1;
+    d.accel = int(best_acc);
+    d.slices = 0; // whole accelerator
+    p.dispatches.push_back(d);
+    return p;
+}
+
+} // namespace core
+} // namespace dream

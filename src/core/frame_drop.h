@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Smart Frame Drop engine (Section 4.2.1).
+ *
+ * A frame is dropped only when all four conditions hold:
+ *  1. Deadline-violation likelihood: minimum_to_go > slack.
+ *  2. Multi-model violation: more than one live job is expected to
+ *     violate its deadline (dropping helps someone else).
+ *  3. Dependency-free: the frame's task is the last model of its
+ *     pipeline (no other model depends on it).
+ *  4. Drop-rate bound: the task stays under the maximum frame-drop
+ *     rate over the configured frame window.
+ *
+ * Among qualifying frames the one with the highest
+ * minimum_to_go / slack ratio is dropped.
+ */
+
+#ifndef DREAM_CORE_FRAME_DROP_H
+#define DREAM_CORE_FRAME_DROP_H
+
+#include <optional>
+
+#include "core/dream_config.h"
+#include "core/mapscore.h"
+#include "sim/scheduler.h"
+
+namespace dream {
+namespace core {
+
+/** Selects at most one frame to drop per scheduling round. */
+class FrameDropEngine {
+public:
+    explicit FrameDropEngine(const DreamConfig& config)
+        : config_(config)
+    {}
+
+    /**
+     * Evaluate the four conditions over the ready frames and return
+     * the request id to drop, if any.
+     */
+    std::optional<int> selectDrop(const sim::SchedulerContext& ctx,
+                                  const MapScoreEngine& scores) const;
+
+    /**
+     * Condition 1 helper: is @p req expected to violate its deadline
+     * even on the best-latency accelerators?
+     */
+    bool expectedViolation(const sim::SchedulerContext& ctx,
+                           const MapScoreEngine& scores,
+                           const sim::Request& req) const;
+
+    /**
+     * Condition 4 helper: would dropping one more frame of @p task
+     * stay within the drop-rate bound?
+     */
+    bool dropBudgetAvailable(const sim::SchedulerContext& ctx,
+                             workload::TaskId task) const;
+
+private:
+    DreamConfig config_;
+};
+
+} // namespace core
+} // namespace dream
+
+#endif // DREAM_CORE_FRAME_DROP_H

@@ -1,0 +1,113 @@
+#include "core/mapscore.h"
+
+#include <algorithm>
+
+#include "costmodel/layer_cost.h"
+#include "sim/context_switch.h"
+#include "sim/cost_cache.h"
+
+namespace dream {
+namespace core {
+
+namespace {
+
+/**
+ * Slack floor as a fraction of the task period. Overdue or imminent
+ * deadlines saturate the urgency score at ToGo / (fraction * period)
+ * instead of diverging — an already-late frame stays urgent but must
+ * not starve every still-meetable frame in the system.
+ */
+constexpr double kMinSlackPeriodFraction = 0.1;
+
+} // anonymous namespace
+
+double
+MapScoreEngine::toGoUs(const sim::SchedulerContext& ctx,
+                       const sim::Request& req) const
+{
+    const auto& cache = sim::ensureCostCache(req, *ctx.costs);
+    return cache.suffixAvg[req.nextLayer];
+}
+
+double
+MapScoreEngine::minToGoUs(const sim::SchedulerContext& ctx,
+                          const std::vector<models::Layer>& path,
+                          size_t from_layer) const
+{
+    const auto& costs = *ctx.costs;
+    double sum = 0.0;
+    for (size_t i = from_layer; i < path.size(); ++i)
+        sum += costs.minLatencyUs(path[i]);
+    return sum;
+}
+
+double
+MapScoreEngine::minToGoUs(const sim::SchedulerContext& ctx,
+                          const sim::Request& req) const
+{
+    const auto& cache = sim::ensureCostCache(req, *ctx.costs);
+    return cache.suffixMin[req.nextLayer];
+}
+
+double
+MapScoreEngine::minToGoBestVariantUs(const sim::SchedulerContext& ctx,
+                                     const sim::Request& req) const
+{
+    const models::Model& model = ctx.scenario->tasks[req.task].model;
+    if (!model.isSupernet() || req.nextLayer > model.supernetSwitchPoint)
+        return minToGoUs(ctx, req);
+    double best = minToGoUs(ctx, req);
+    for (size_t v = 1; v <= model.variants.size(); ++v) {
+        best = std::min(best, minToGoUs(ctx, model.variantPath(v),
+                                        req.nextLayer));
+    }
+    return best;
+}
+
+ScoreBreakdown
+MapScoreEngine::score(const sim::SchedulerContext& ctx,
+                      const sim::Request& req, size_t accel) const
+{
+    const auto& costs = *ctx.costs;
+    const models::Layer& next = req.path[req.nextLayer];
+
+    ScoreBreakdown s;
+    s.toGoUs = toGoUs(ctx, req);
+    s.slackUs = req.deadlineUs - ctx.nowUs;
+
+    // Line 7: urgency = ToGo / Slack (floored slack).
+    const double min_slack =
+        kMinSlackPeriodFraction *
+        ctx.scenario->tasks[req.task].periodUs();
+    s.urgency = s.toGoUs / std::max(s.slackUs, min_slack);
+
+    // Line 8: latency preference = sum_i lat(next, i) / lat(next, acc).
+    const double lat_here = costs.cost(next, accel).latencyUs;
+    s.latPref = costs.sumLatencyUs(next) / lat_here;
+
+    // Line 9: starvation = Tqueue / mean_i lat(next, i).
+    const double t_queue = std::max(0.0, ctx.nowUs - req.lastEventUs);
+    s.starvation = t_queue / costs.avgLatencyUs(next);
+
+    // Line 10: context-switch cost = CswitchEnergy / EstEnergy.
+    const auto& acc_state = ctx.accel(accel);
+    const double e_here = costs.cost(next, accel).energyMj;
+    const sim::SwitchTraffic cs = sim::switchTraffic(acc_state, req);
+    if (cs.any()) {
+        s.costSwitch = cost::contextSwitchEnergyMj(cs.flushBytes,
+                                                   cs.fetchBytes) /
+                       e_here;
+    }
+
+    // Lines 11-13: energy preference minus switch cost.
+    s.energyPref = costs.sumEnergyMj(next) / e_here;
+    s.energy = s.energyPref - s.costSwitch;
+
+    // Lines 14-15.
+    s.mapScore = s.urgency * s.latPref + alpha_ * s.starvation +
+                 beta_ * s.energy;
+    return s;
+}
+
+} // namespace core
+} // namespace dream

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * MapScore engine: the scoring metric of Algorithm 1.
+ *
+ * MapScore(tsk, acc) = ScoreUrgency(tsk) * ScoreLatPref(tsk, acc)
+ *                    + alpha * ScoreStarv(tsk)
+ *                    + beta  * ScoreEnergy(tsk, acc)
+ *
+ * where urgency is ToGo/Slack, latency preference is the inverse
+ * significance of the next layer's latency on the accelerator,
+ * starvation is queue time over mean next-layer latency, and energy
+ * combines the inverse energy significance with the context-switch
+ * energy penalty of displacing the accelerator's previous task.
+ */
+
+#ifndef DREAM_CORE_MAPSCORE_H
+#define DREAM_CORE_MAPSCORE_H
+
+#include "sim/scheduler.h"
+
+namespace dream {
+namespace core {
+
+/** All unit scores plus the combined MapScore for one (task, acc). */
+struct ScoreBreakdown {
+    double toGoUs = 0.0;
+    double slackUs = 0.0;
+    double urgency = 0.0;
+    double latPref = 0.0;
+    double starvation = 0.0;
+    double energyPref = 0.0;
+    double costSwitch = 0.0;
+    double energy = 0.0;
+    double mapScore = 0.0;
+};
+
+/**
+ * Computes MapScore for (request, accelerator) pairs against a
+ * SchedulerContext snapshot. Stateless apart from the tunable
+ * (alpha, beta) parameters.
+ */
+class MapScoreEngine {
+public:
+    MapScoreEngine(double alpha, double beta)
+        : alpha_(alpha), beta_(beta)
+    {}
+
+    double alpha() const { return alpha_; }
+    double beta() const { return beta_; }
+    void setParams(double alpha, double beta)
+    {
+        alpha_ = alpha;
+        beta_ = beta;
+    }
+
+    /**
+     * ToGo (Algorithm 1 line 2): predicted remaining processing time,
+     * averaged across accelerators.
+     */
+    double toGoUs(const sim::SchedulerContext& ctx,
+                  const sim::Request& req) const;
+
+    /**
+     * Minimum remaining time to completion assuming the best-latency
+     * accelerator per layer and no context switches (the
+     * minimum_to_go of the smart-frame-drop conditions).
+     */
+    double minToGoUs(const sim::SchedulerContext& ctx,
+                     const sim::Request& req) const;
+
+    /** minToGoUs() over an explicit remaining-layer span. */
+    double minToGoUs(const sim::SchedulerContext& ctx,
+                     const std::vector<models::Layer>& path,
+                     size_t from_layer) const;
+
+    /**
+     * minToGoUs() assuming the most favourable Supernet variant is
+     * still selectable (the drop engine must not retire a frame that
+     * variant switching could save). Falls back to minToGoUs() for
+     * non-Supernet requests or past the switch point.
+     */
+    double minToGoBestVariantUs(const sim::SchedulerContext& ctx,
+                                const sim::Request& req) const;
+
+    /** Full Algorithm 1 evaluation for (request, accelerator). */
+    ScoreBreakdown score(const sim::SchedulerContext& ctx,
+                         const sim::Request& req, size_t accel) const;
+
+private:
+    double alpha_;
+    double beta_;
+};
+
+} // namespace core
+} // namespace dream
+
+#endif // DREAM_CORE_MAPSCORE_H

@@ -1,0 +1,130 @@
+#include "costmodel/cost_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dream {
+namespace cost {
+
+size_t
+LayerKeyHash::operator()(const LayerKey& k) const
+{
+    size_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(k.kind);
+    mix(k.inH);
+    mix(k.inW);
+    mix(k.inC);
+    mix(k.outC);
+    mix((uint64_t(k.kH) << 32) | k.kW);
+    mix((uint64_t(k.stride) << 32) | k.groups);
+    mix(k.repeat);
+    return h;
+}
+
+LayerKey
+makeKey(const models::Layer& layer)
+{
+    return LayerKey{uint32_t(layer.kind), layer.inH,    layer.inW,
+                    layer.inC,            layer.outC,   layer.kH,
+                    layer.kW,             layer.stride, layer.groups,
+                    layer.repeat};
+}
+
+CostTable::CostTable(const hw::SystemConfig& system) : system_(system)
+{
+    assert(!system_.accelerators.empty());
+}
+
+const CostTable::Entry&
+CostTable::entryFor(const models::Layer& layer) const
+{
+    const LayerKey key = makeKey(layer);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    Entry e;
+    e.byAccel.resize(system_.size());
+    for (size_t a = 0; a < system_.size(); ++a) {
+        const auto& acc = system_.accelerators[a];
+        e.byAccel[a].resize(acc.numSlices);
+        for (uint32_t s = 1; s <= acc.numSlices; ++s)
+            e.byAccel[a][s - 1] = estimateLayer(layer, acc, s);
+    }
+    return cache_.emplace(key, std::move(e)).first->second;
+}
+
+void
+CostTable::addModel(const models::Model& model)
+{
+    for (const auto& l : model.layers)
+        entryFor(l);
+    for (const auto& v : model.variants) {
+        for (const auto& l : v.bodyLayers)
+            entryFor(l);
+    }
+}
+
+const LayerCost&
+CostTable::cost(const models::Layer& layer, size_t acc) const
+{
+    return cost(layer, acc, system_.accelerators[acc].numSlices);
+}
+
+const LayerCost&
+CostTable::cost(const models::Layer& layer, size_t acc,
+                uint32_t slices) const
+{
+    assert(acc < system_.size());
+    assert(slices >= 1 && slices <= system_.accelerators[acc].numSlices);
+    return entryFor(layer).byAccel[acc][slices - 1];
+}
+
+double
+CostTable::avgLatencyUs(const models::Layer& layer) const
+{
+    return sumLatencyUs(layer) / double(system_.size());
+}
+
+double
+CostTable::sumLatencyUs(const models::Layer& layer) const
+{
+    double sum = 0.0;
+    for (size_t a = 0; a < system_.size(); ++a)
+        sum += cost(layer, a).latencyUs;
+    return sum;
+}
+
+double
+CostTable::minLatencyUs(const models::Layer& layer) const
+{
+    double best = cost(layer, 0).latencyUs;
+    for (size_t a = 1; a < system_.size(); ++a)
+        best = std::min(best, cost(layer, a).latencyUs);
+    return best;
+}
+
+double
+CostTable::sumEnergyMj(const models::Layer& layer) const
+{
+    double sum = 0.0;
+    for (size_t a = 0; a < system_.size(); ++a)
+        sum += cost(layer, a).energyMj;
+    return sum;
+}
+
+double
+CostTable::maxEnergyMj(const models::Layer& layer) const
+{
+    double worst = cost(layer, 0).energyMj;
+    for (size_t a = 1; a < system_.size(); ++a)
+        worst = std::max(worst, cost(layer, a).energyMj);
+    return worst;
+}
+
+} // namespace cost
+} // namespace dream

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Precomputed latency/energy tables for a target system.
+ *
+ * DREAM's inputs include "latency and energy information for each layer
+ * for each accelerator in the system generated offline using a cost
+ * model or a simulator" (Section 4, Figure 4). CostTable is that
+ * artefact: it memoises estimateLayer() for every (layer shape,
+ * accelerator, slice allocation) and offers the aggregate queries the
+ * scoring algorithms need (average / sum / min across accelerators).
+ */
+
+#ifndef DREAM_COSTMODEL_COST_TABLE_H
+#define DREAM_COSTMODEL_COST_TABLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "costmodel/layer_cost.h"
+#include "hw/system.h"
+#include "models/model.h"
+
+namespace dream {
+namespace cost {
+
+/** Shape key identifying a layer for memoisation. */
+struct LayerKey {
+    uint32_t kind, inH, inW, inC, outC, kH, kW, stride, groups, repeat;
+
+    bool operator==(const LayerKey&) const = default;
+};
+
+/** FNV-1a style hash for LayerKey. */
+struct LayerKeyHash {
+    size_t operator()(const LayerKey& k) const;
+};
+
+/** Make the memoisation key for a layer. */
+LayerKey makeKey(const models::Layer& layer);
+
+/**
+ * Latency/energy lookup for one target system.
+ *
+ * Lookups are lazy: the first query for a given layer computes and
+ * caches the full (accelerator x slice) cost matrix. addModel() can
+ * pre-warm the cache offline, matching the paper's flow.
+ */
+class CostTable {
+public:
+    explicit CostTable(const hw::SystemConfig& system);
+
+    /** Pre-compute costs for every layer of a model (incl. variants). */
+    void addModel(const models::Model& model);
+
+    /** Number of accelerators in the target system. */
+    size_t numAccelerators() const { return system_.size(); }
+    /** The target system. */
+    const hw::SystemConfig& system() const { return system_; }
+
+    /** Cost of @p layer on accelerator @p acc with all slices. */
+    const LayerCost& cost(const models::Layer& layer, size_t acc) const;
+    /** Cost of @p layer on accelerator @p acc with @p slices slices. */
+    const LayerCost& cost(const models::Layer& layer, size_t acc,
+                          uint32_t slices) const;
+
+    /** Mean full-slice latency of @p layer across accelerators. */
+    double avgLatencyUs(const models::Layer& layer) const;
+    /** Sum of full-slice latencies of @p layer across accelerators. */
+    double sumLatencyUs(const models::Layer& layer) const;
+    /** Minimum full-slice latency of @p layer across accelerators. */
+    double minLatencyUs(const models::Layer& layer) const;
+    /** Sum of full-slice energies of @p layer across accelerators. */
+    double sumEnergyMj(const models::Layer& layer) const;
+    /** Worst-case (max across accelerators) energy of @p layer. */
+    double maxEnergyMj(const models::Layer& layer) const;
+
+private:
+    /** Per-layer cost matrix: [accelerator][slices-1]. */
+    struct Entry {
+        std::vector<std::vector<LayerCost>> byAccel;
+    };
+
+    const Entry& entryFor(const models::Layer& layer) const;
+
+    hw::SystemConfig system_;
+    mutable std::unordered_map<LayerKey, Entry, LayerKeyHash> cache_;
+};
+
+} // namespace cost
+} // namespace dream
+
+#endif // DREAM_COSTMODEL_COST_TABLE_H

@@ -1,0 +1,236 @@
+#include "costmodel/layer_cost.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dream {
+namespace cost {
+
+namespace {
+
+using models::Layer;
+using models::LayerKind;
+using hw::Dataflow;
+
+/** NVDLA-style WS array geometry: input-channel lanes per PE column. */
+constexpr uint32_t kWsIcLanes = 64;
+/** OS grid folds up to this many output channels concurrently. */
+constexpr uint32_t kOsOcFold = 16;
+/** Weight-feed width bounding OS execution of FC/RNN layers. */
+constexpr uint32_t kOsWeightFeedWidth = 256;
+/** Temporal pipeline fill/drain constant (reuse steps to amortise). */
+constexpr double kRampSteps = 8.0;
+/**
+ * Sustained-vs-peak compute derate. Covers tiling DMA stalls,
+ * layer-edge bubbles, im2col/halo overheads and non-MAC ops that a
+ * cycle-level model (MAESTRO) charges but a roofline does not.
+ */
+constexpr double kComputeEfficiency = 0.12;
+/** Achievable fraction of peak DRAM bandwidth. */
+constexpr double kBandwidthEfficiency = 0.45;
+/** Weights above this fraction of SRAM cannot stay resident. */
+constexpr double kWeightResidencyFraction = 0.75;
+
+/**
+ * PE-count quantisation: fraction of PEs busy given `work` parallel
+ * iterations mapped onto `pes` PEs (edge-tile effect).
+ */
+double
+quantisedUtil(double work, double pes)
+{
+    if (work <= 0 || pes <= 0)
+        return 0.0;
+    if (work < pes)
+        return work / pes;
+    const double passes = std::ceil(work / pes);
+    return work / (passes * pes);
+}
+
+/** Temporal ramp: r reuse steps against pipeline fill/drain. */
+double
+ramp(double r)
+{
+    return r / (r + kRampSteps);
+}
+
+} // anonymous namespace
+
+double
+spatialUtilisation(const Layer& layer, Dataflow df, uint32_t pes)
+{
+    const double positions = double(layer.outPositions());
+    switch (df) {
+      case Dataflow::WeightStationary: {
+        // (icg x outC) weight lanes; depthwise starves the ic lanes.
+        // A grouped fallback mapping (splitting channels across
+        // kernel positions) floors the starvation at 1/8.
+        const double ic_util = std::max(
+            0.125, std::min<double>(1.0, double(layer.inCPerGroup()) /
+                                             kWsIcLanes));
+        const double oc_lanes = std::max(1.0, double(pes) / kWsIcLanes);
+        const double oc_util =
+            quantisedUtil(double(layer.outC) * layer.kH * layer.kW,
+                          oc_lanes);
+        return std::max(1e-4, ic_util * oc_util);
+      }
+      case Dataflow::OutputStationary: {
+        // Output positions (x folded channels) mapped onto the grid.
+        // FC/RNN layers map output neurons spatially instead but are
+        // limited by the weight-feed width (one fresh weight per PE
+        // per cycle cannot be sustained beyond the SRAM port width).
+        const bool fc_like = layer.outPositions() == 1;
+        const double fold = fc_like ? kOsWeightFeedWidth : kOsOcFold;
+        const double work =
+            positions * std::min<double>(layer.outC, fold);
+        return std::max(1e-4, quantisedUtil(work, pes));
+      }
+    }
+    return 1e-4;
+}
+
+namespace {
+
+/** Temporal reuse steps per dataflow (drives the ramp factor). */
+double
+temporalReuse(const Layer& layer, Dataflow df)
+{
+    switch (df) {
+      case Dataflow::WeightStationary:
+        // Weights stay resident across output positions (and RNN steps).
+        return double(layer.outPositions()) * layer.repeat;
+      case Dataflow::OutputStationary:
+        // Partial sums stay resident across the accumulation depth.
+        return double(layer.accumulationDepth());
+    }
+    return 1.0;
+}
+
+/** SRAM traffic in bytes per dataflow. */
+double
+sramTrafficBytes(const Layer& layer, Dataflow df)
+{
+    const double macs = double(layer.macs());
+    const double out_bytes = double(layer.outputBytes());
+    switch (df) {
+      case Dataflow::WeightStationary: {
+        // Weights fill once; inputs broadcast 16-wide; psums spill
+        // beyond the 64-deep accumulators.
+        const double acc_spills =
+            std::ceil(double(layer.accumulationDepth()) / 64.0);
+        return double(layer.weightBytes()) + macs / 16.0 +
+               2.0 * out_bytes * acc_spills;
+      }
+      case Dataflow::OutputStationary: {
+        // Psums stay in PEs; weights stream; inputs reuse either the
+        // sliding window (convs) or the output-channel fold (FC).
+        const double reuse = std::max<double>(
+            double(layer.kH) * layer.kW,
+            std::min<double>(layer.outC, 16.0));
+        return out_bytes + macs / 16.0 + macs / reuse / 4.0;
+      }
+    }
+    return 0.0;
+}
+
+} // anonymous namespace
+
+double
+dramTrafficBytes(const Layer& layer, Dataflow df, uint64_t sram_bytes)
+{
+    const double weight_bytes = double(layer.weightBytes());
+    const double act_bytes =
+        double(layer.inputBytes() + layer.outputBytes());
+    double traffic = weight_bytes + act_bytes;
+
+    // Recurrent layers whose weights cannot stay SRAM-resident
+    // (leaving room for activations / double-buffering) refetch them
+    // every step: the GNMT effect.
+    if (layer.kind == LayerKind::Rnn && layer.repeat > 1 &&
+        weight_bytes > kWeightResidencyFraction * double(sram_bytes)) {
+        traffic += weight_bytes * (layer.repeat - 1);
+    }
+
+    // OS refetches weights per output tile when the map is large.
+    if (df == Dataflow::OutputStationary) {
+        const double tiles =
+            std::ceil(double(layer.outPositions()) / 4096.0);
+        traffic += weight_bytes * std::max(0.0, tiles - 1.0);
+    }
+
+    // Working sets beyond the buffer incur tiling refetch.
+    const double working_set = weight_bytes + act_bytes;
+    if (working_set > double(sram_bytes)) {
+        const double excess = working_set / double(sram_bytes) - 1.0;
+        traffic *= 1.0 + 0.5 * std::min(excess, 2.0);
+    }
+    return traffic;
+}
+
+LayerCost
+estimateLayer(const Layer& layer, const hw::AcceleratorConfig& acc,
+              uint32_t slices)
+{
+    assert(slices >= 1 && slices <= acc.numSlices);
+    const double pes = double(acc.pesForSlices(slices));
+    const double macs = double(layer.macs());
+
+    const double util = spatialUtilisation(layer, acc.dataflow,
+                                           uint32_t(pes));
+    const double r = ramp(temporalReuse(layer, acc.dataflow));
+    const double compute_cycles =
+        macs / (pes * kComputeEfficiency * util * r);
+
+    const double dram_bytes =
+        dramTrafficBytes(layer, acc.dataflow, acc.sramBytes);
+    const double bytes_per_us =
+        acc.bandwidthBytesPerUsForSlices(slices) * kBandwidthEfficiency;
+    const double bytes_per_cycle = bytes_per_us / acc.clockMhz;
+    const double mem_cycles = dram_bytes / bytes_per_cycle;
+
+    const double cycles = std::max(compute_cycles, mem_cycles) +
+                          kDispatchOverheadCycles;
+
+    const EnergyConstants ec;
+    const double sram_bytes = sramTrafficBytes(layer, acc.dataflow);
+    const double energy_pj = macs * ec.macPj +
+                             sram_bytes * ec.sramPjPerByte +
+                             dram_bytes * ec.dramPjPerByte;
+
+    LayerCost c;
+    c.latencyUs = acc.cyclesToUs(cycles);
+    // Static energy: leakage of the allocated PEs over the layer's
+    // residency (W * us = uJ; -> mJ).
+    const double static_mj =
+        c.latencyUs * ec.staticWattsPerKPe * (pes / 1024.0) * 1e-3;
+    c.energyMj = energy_pj * 1e-9 + static_mj; // pJ -> mJ
+    return c;
+}
+
+LayerCost
+estimateLayer(const Layer& layer, const hw::AcceleratorConfig& acc)
+{
+    return estimateLayer(layer, acc, acc.numSlices);
+}
+
+double
+contextSwitchEnergyMj(uint64_t outgoing_activation_bytes,
+                      uint64_t incoming_activation_bytes)
+{
+    const EnergyConstants ec;
+    const double bytes = double(outgoing_activation_bytes) +
+                         double(incoming_activation_bytes);
+    return bytes * ec.dramPjPerByte * 1e-9;
+}
+
+double
+contextSwitchLatencyUs(uint64_t bytes, const hw::AcceleratorConfig& acc,
+                       uint32_t slices)
+{
+    const double bytes_per_us =
+        acc.bandwidthBytesPerUsForSlices(slices) * kBandwidthEfficiency;
+    return double(bytes) / bytes_per_us;
+}
+
+} // namespace cost
+} // namespace dream

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Analytical latency/energy model for one layer on one accelerator.
+ *
+ * Plays the role MAESTRO plays in the paper: an offline cost model
+ * whose per-(layer, accelerator) outputs feed the scheduler. The model
+ * is a dataflow-aware roofline:
+ *
+ *   compute cycles = MACs / (PEs * spatialUtil * temporalRamp)
+ *   memory cycles  = DRAM bytes / (bytes per cycle)
+ *   latency        = max(compute, memory) + dispatch overhead
+ *
+ * Spatial utilisation is structural per dataflow:
+ *  - WS (NVDLA-style) maps (input-channel x output-channel) lanes, so
+ *    depthwise layers with one input channel per group collapse to
+ *    1/icLanes utilisation, while deep convs and FC saturate.
+ *  - OS (ShiDianNao-style) maps output positions, so large spatial
+ *    maps saturate while FC layers (one output position) starve.
+ *
+ * Temporal ramp models pipeline fill/drain: WS needs weight reuse
+ * across output positions; OS needs deep accumulation per output.
+ *
+ * Energy = MAC + SRAM + DRAM components with per-dataflow SRAM
+ * amplification (WS spills partial sums; OS streams weights).
+ */
+
+#ifndef DREAM_COSTMODEL_LAYER_COST_H
+#define DREAM_COSTMODEL_LAYER_COST_H
+
+#include <cstdint>
+
+#include "hw/accelerator.h"
+#include "models/layer.h"
+#include "models/model.h"
+
+namespace dream {
+namespace cost {
+
+/** Cost of one layer execution on one accelerator allocation. */
+struct LayerCost {
+    double latencyUs = 0.0;  ///< end-to-end layer latency
+    double energyMj = 0.0;   ///< energy in millijoules
+};
+
+/** Technology constants of the energy model (45 nm derived). */
+struct EnergyConstants {
+    double macPj = 0.5;    ///< per int8 MAC (incl. register traffic)
+    double sramPjPerByte = 2.0;
+    double dramPjPerByte = 40.0;
+    /**
+     * Static (leakage + clock-tree) power per 1024 allocated PEs, in
+     * watts. Charged for the full layer latency, so poorly-matched
+     * (slow) placements waste energy — the effect DREAM's energy
+     * preference score exploits.
+     */
+    double staticWattsPerKPe = 0.075;
+};
+
+/** Fixed per-layer dispatch/configuration overhead in cycles. */
+constexpr double kDispatchOverheadCycles = 500.0;
+
+/**
+ * Estimate latency and energy of @p layer on @p acc when granted
+ * @p slices of the accelerator's spatial slices.
+ */
+LayerCost estimateLayer(const models::Layer& layer,
+                        const hw::AcceleratorConfig& acc,
+                        uint32_t slices);
+
+/** estimateLayer() with all slices (whole accelerator). */
+LayerCost estimateLayer(const models::Layer& layer,
+                        const hw::AcceleratorConfig& acc);
+
+/**
+ * Spatial PE utilisation of @p layer under the accelerator dataflow
+ * with @p pes PEs (exposed for testing).
+ */
+double spatialUtilisation(const models::Layer& layer, hw::Dataflow df,
+                          uint32_t pes);
+
+/**
+ * DRAM traffic in bytes for @p layer under @p df with @p sram_bytes
+ * of on-chip buffer (exposed for testing).
+ */
+double dramTrafficBytes(const models::Layer& layer, hw::Dataflow df,
+                        uint64_t sram_bytes);
+
+/**
+ * Energy of switching an accelerator between two models: flush the
+ * outgoing model's live activations to DRAM and fetch the incoming
+ * model's (Section 3.4 of the paper).
+ */
+double contextSwitchEnergyMj(uint64_t outgoing_activation_bytes,
+                             uint64_t incoming_activation_bytes);
+
+/**
+ * Latency of moving @p bytes of context-switch traffic over the DRAM
+ * interface share of a @p slices allocation on @p acc.
+ */
+double contextSwitchLatencyUs(uint64_t bytes,
+                              const hw::AcceleratorConfig& acc,
+                              uint32_t slices);
+
+} // namespace cost
+} // namespace dream
+
+#endif // DREAM_COSTMODEL_LAYER_COST_H

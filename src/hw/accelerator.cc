@@ -1,0 +1,32 @@
+#include "hw/accelerator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dream {
+namespace hw {
+
+uint32_t
+AcceleratorConfig::pesForSlices(uint32_t slices) const
+{
+    assert(slices >= 1 && slices <= numSlices);
+    return std::max<uint32_t>(1, numPes * slices / numSlices);
+}
+
+double
+AcceleratorConfig::bandwidthBytesPerUsForSlices(uint32_t slices) const
+{
+    assert(slices >= 1 && slices <= numSlices);
+    // GB/s == bytes/ns * 1e3 == bytes/us * 1e3.
+    const double total_bytes_per_us = dramGbps * 1e3;
+    return total_bytes_per_us * slices / numSlices;
+}
+
+double
+AcceleratorConfig::cyclesToUs(double cycles) const
+{
+    return cycles / clockMhz; // MHz == cycles/us
+}
+
+} // namespace hw
+} // namespace dream

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static description of one sub-accelerator in a DREAM target system.
+ */
+
+#ifndef DREAM_HW_ACCELERATOR_H
+#define DREAM_HW_ACCELERATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "hw/dataflow.h"
+
+namespace dream {
+namespace hw {
+
+/**
+ * Static configuration of one accelerator.
+ *
+ * All evaluated systems in the paper share the memory subsystem
+ * parameters (8 MiB SRAM, 90 GB/s DRAM, 700 MHz); they differ in PE
+ * count and dataflow. Accelerators are divisible into @ref numSlices
+ * equal slices so that spatial-fission schedulers (Planaria) can
+ * co-locate jobs; whole-accelerator schedulers allocate every slice.
+ */
+struct AcceleratorConfig {
+    /** Display name, e.g. "WS-2K". */
+    std::string name;
+    /** Number of processing elements (MAC units). */
+    uint32_t numPes = 2048;
+    /** Dataflow style of this accelerator. */
+    Dataflow dataflow = Dataflow::WeightStationary;
+    /** On-chip shared SRAM in bytes (paper: 8 MiB). */
+    uint64_t sramBytes = 8ull * 1024 * 1024;
+    /** Off-chip DRAM bandwidth in GB/s (paper: 90 GB/s). */
+    double dramGbps = 90.0;
+    /** Clock frequency in MHz (paper: 700 MHz). */
+    double clockMhz = 700.0;
+    /**
+     * Spatial partition granularity. A job occupies 1..numSlices
+     * slices and sees a proportional share of the PEs and bandwidth.
+     */
+    uint32_t numSlices = 4;
+
+    /** PEs available to a job holding @p slices slices. */
+    uint32_t pesForSlices(uint32_t slices) const;
+    /** DRAM bytes/us available to a job holding @p slices slices. */
+    double bandwidthBytesPerUsForSlices(uint32_t slices) const;
+    /** Clock period in microseconds. */
+    double cyclesToUs(double cycles) const;
+};
+
+} // namespace hw
+} // namespace dream
+
+#endif // DREAM_HW_ACCELERATOR_H

@@ -1,0 +1,19 @@
+#include "hw/dataflow.h"
+
+namespace dream {
+namespace hw {
+
+std::string
+toString(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::WeightStationary:
+        return "WS";
+      case Dataflow::OutputStationary:
+        return "OS";
+    }
+    return "??";
+}
+
+} // namespace hw
+} // namespace dream

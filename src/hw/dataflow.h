@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dataflow taxonomy for dense ML accelerators.
+ *
+ * DREAM's evaluation platforms (Table 2 of the paper) combine
+ * weight-stationary (WS, NVDLA-inspired) and output-stationary
+ * (OS, ShiDianNao-inspired) sub-accelerators. The dataflow determines
+ * which on-chip reuse a layer enjoys and therefore both the sustained
+ * PE utilisation and the DRAM traffic of the analytical cost model.
+ */
+
+#ifndef DREAM_HW_DATAFLOW_H
+#define DREAM_HW_DATAFLOW_H
+
+#include <string>
+
+namespace dream {
+namespace hw {
+
+/** Accelerator dataflow style. */
+enum class Dataflow {
+    /** Weight-stationary (NVDLA-like): weights pinned in PE registers. */
+    WeightStationary,
+    /** Output-stationary (ShiDianNao-like): psums pinned in PE registers. */
+    OutputStationary,
+};
+
+/** Short human-readable name ("WS" / "OS"). */
+std::string toString(Dataflow df);
+
+} // namespace hw
+} // namespace dream
+
+#endif // DREAM_HW_DATAFLOW_H

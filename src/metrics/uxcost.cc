@@ -1,0 +1,41 @@
+#include "metrics/uxcost.h"
+
+namespace dream {
+namespace metrics {
+
+double
+uxCost(const sim::RunStats& stats)
+{
+    return stats.overallDlvRate() * stats.overallNormEnergy();
+}
+
+double
+evaluate(Objective objective, const sim::RunStats& stats)
+{
+    switch (objective) {
+      case Objective::UxCost:
+        return uxCost(stats);
+      case Objective::DlvRateOnly:
+        return stats.overallDlvRate();
+      case Objective::EnergyOnly:
+        return stats.overallNormEnergy();
+    }
+    return 0.0;
+}
+
+const char*
+toString(Objective objective)
+{
+    switch (objective) {
+      case Objective::UxCost:
+        return "UXCost";
+      case Objective::DlvRateOnly:
+        return "DLVRate";
+      case Objective::EnergyOnly:
+        return "Energy";
+    }
+    return "??";
+}
+
+} // namespace metrics
+} // namespace dream

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * UXCost (Algorithm 2): the paper's EDP-like user-experience metric.
+ *
+ * UXCost = (sum of per-model deadline-violation rates) *
+ *          (sum of per-model worst-case-normalised energies),
+ * with a 1/(2*frames) violation floor for models that never violate
+ * so a zero rate cannot zero the product. Dropped frames count as
+ * violations (completion time = infinity, Section 4.2.1).
+ */
+
+#ifndef DREAM_METRICS_UXCOST_H
+#define DREAM_METRICS_UXCOST_H
+
+#include "sim/stats.h"
+
+namespace dream {
+namespace metrics {
+
+/** UXCost of a finished run (Algorithm 2). */
+double uxCost(const sim::RunStats& stats);
+
+/**
+ * UXCost variants used by the Figure 13 ablation: optimise only the
+ * deadline-violation term or only the energy term.
+ */
+enum class Objective {
+    UxCost,       ///< deadline violation rate x normalised energy
+    DlvRateOnly,  ///< sum of per-model deadline-violation rates
+    EnergyOnly,   ///< sum of per-model normalised energies
+};
+
+/** Evaluate @p objective on @p stats. */
+double evaluate(Objective objective, const sim::RunStats& stats);
+
+/** Display name of an objective. */
+const char* toString(Objective objective);
+
+} // namespace metrics
+} // namespace dream
+
+#endif // DREAM_METRICS_UXCOST_H

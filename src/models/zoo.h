@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Model zoo: layer-level descriptions of every network used in the
+ * paper's five RTMM scenarios (Table 3).
+ *
+ * Shapes follow the published architectures, scaled where the original
+ * is a datacenter-class network (GNMT) to the mobile-class deployment
+ * the paper targets; the scaling preserves each network's character
+ * (FC/RNN-heavy vs conv-heavy, activation-heavy vs weight-heavy),
+ * which is what drives dataflow affinity and scheduling behaviour.
+ */
+
+#ifndef DREAM_MODELS_ZOO_H
+#define DREAM_MODELS_ZOO_H
+
+#include "models/model.h"
+
+namespace dream {
+namespace models {
+namespace zoo {
+
+/** FBNet-C, used for gaze estimation (VR_Gaming). ~240 MMACs. */
+Model fbnetC();
+
+/** SSD-MobileNetV2 300x300 detector (hand/object/face detection). */
+Model ssdMobileNetV2();
+
+/** HandPoseNet: depth-image hand pose regression (VR_Gaming). */
+Model handPoseNet();
+
+/**
+ * Once-for-All Supernet for (visual) context understanding, with four
+ * weight-sharing subnets: Original (default path) plus three lighter
+ * variants selected by DREAM's Supernet switching.
+ */
+Model ofaSupernet();
+
+/** res8 keyword-spotting network (audio pipelines). */
+Model kwsRes8();
+
+/**
+ * GNMT translation model (mobile-scaled: 4 LSTM layers, 1024 hidden,
+ * 16k vocab, 24 decode steps). RNN/FC dominated and DRAM-heavy, as in
+ * the datacenter original.
+ */
+Model gnmt();
+
+/**
+ * SkipNet: ResNet-34-style backbone with per-block skip gates
+ * (operator-level dynamicity; 50% skip probability per gated block,
+ * as assumed in the paper's evaluation).
+ */
+Model skipNet();
+
+/** TrailNet: s-ResNet-18-style trail navigation (Drone_Outdoor). */
+Model trailNet();
+
+/** SOSNet: local-descriptor network batched over image patches. */
+Model sosNet();
+
+/**
+ * RAPID-RL: reconfigurable policy network with preemptive exits
+ * (Drone_Indoor); two early-exit branches at 50% each.
+ */
+Model rapidRl();
+
+/** GoogLeNet fine-tuned for car classification (Drone_Indoor). */
+Model googLeNetCar();
+
+/** Single-image depth estimation with focal-length embedding. */
+Model focalLengthDepth();
+
+/** ED-TCN: temporal convolutional action segmentation. */
+Model edTcn();
+
+/** VGG-M speaker/face-verification network (VoxCeleb). */
+Model vggVoxCeleb();
+
+} // namespace zoo
+} // namespace models
+} // namespace dream
+
+#endif // DREAM_MODELS_ZOO_H

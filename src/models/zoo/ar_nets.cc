@@ -1,0 +1,99 @@
+/**
+ * @file
+ * AR-scenario networks: HandPoseNet, FocalLengthDepth and ED-TCN.
+ */
+
+#include "models/zoo.h"
+
+#include "models/zoo/builders.h"
+
+namespace dream {
+namespace models {
+namespace zoo {
+
+Model
+handPoseNet()
+{
+    Model m;
+    m.name = "HandPoseNet";
+    // Global-to-local hand pose regression (Madadi et al.) on a 96x96
+    // depth crop; FC-heavy regression tail.
+    Cursor cur{96, 96, 1};
+    addConv(m.layers, cur, "conv1", 32, 5, 2);
+    addConv(m.layers, cur, "conv2", 64, 3, 1);
+    addPool(m.layers, cur, "pool2", 2, 2);
+    addConv(m.layers, cur, "conv3", 128, 3, 1);
+    addConv(m.layers, cur, "conv4", 192, 3, 1);
+    addPool(m.layers, cur, "pool4", 2, 2);
+    addConv(m.layers, cur, "conv5", 256, 3, 1);
+    addPool(m.layers, cur, "pool5", 2, 2);
+    m.layers.push_back(fc("fc1", 256 * 6 * 6, 1024));
+    m.layers.push_back(fc("fc2", 1024, 1024));
+    // 21 joints x 3 coordinates.
+    m.layers.push_back(fc("joints", 1024, 63));
+    return m;
+}
+
+Model
+focalLengthDepth()
+{
+    Model m;
+    m.name = "FocalLengthDepth";
+    // Encoder-decoder monocular depth (He et al., TIP'18): MobileNetV2
+    // style encoder plus a transposed-conv decoder to full resolution.
+    Cursor cur{224, 224, 3};
+    addConv(m.layers, cur, "enc.stem", 32, 3, 2);
+    const struct { uint32_t c; int n; uint32_t s; uint32_t e; } enc[] =
+        {{16, 1, 1, 1}, {24, 2, 2, 6}, {32, 3, 2, 6},
+         {64, 3, 2, 6}, {128, 3, 2, 6}};
+    int stage_idx = 0;
+    for (const auto& st : enc) {
+        for (int b = 0; b < st.n; ++b) {
+            addInvertedResidual(
+                m.layers, cur,
+                "enc.s" + std::to_string(stage_idx) + ".b" +
+                    std::to_string(b),
+                st.c, 3, b == 0 ? st.s : 1, st.e);
+        }
+        ++stage_idx;
+    }
+    // Decoder: upsample + conv at each scale back to 224x224.
+    const struct { uint32_t h; uint32_t c; } dec[] =
+        {{14, 96}, {28, 64}, {56, 32}, {112, 16}};
+    int didx = 0;
+    for (const auto& d : dec) {
+        cur.h = d.h;
+        cur.w = d.h;
+        addConv(m.layers, cur, "dec.up" + std::to_string(didx++), d.c,
+                3, 1);
+    }
+    cur.h = 224;
+    cur.w = 224;
+    addConv(m.layers, cur, "dec.depth", 1, 3, 1);
+    return m;
+}
+
+Model
+edTcn()
+{
+    Model m;
+    m.name = "ED-TCN";
+    // Encoder-decoder temporal conv net (Lea et al., CVPR'17) over a
+    // 96-step window of 128-d frame features.
+    Cursor cur{1, 96, 128};
+    addConv1d(m.layers, cur, "enc.conv1", 96, 25, 1);
+    addPool(m.layers, cur, "enc.pool1", 1, 2);
+    addConv1d(m.layers, cur, "enc.conv2", 160, 25, 1);
+    addPool(m.layers, cur, "enc.pool2", 1, 2);
+    // Decoder mirrors the encoder with upsampling.
+    cur.w *= 2;
+    addConv1d(m.layers, cur, "dec.conv1", 96, 25, 1);
+    cur.w *= 2;
+    addConv1d(m.layers, cur, "dec.conv2", 64, 25, 1);
+    m.layers.push_back(fc("cls.frame", 64, 24));
+    return m;
+}
+
+} // namespace zoo
+} // namespace models
+} // namespace dream

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Audio/speech networks: res8 keyword spotting, GNMT translation and
+ * the VGG-M VoxCeleb verification network.
+ */
+
+#include "models/zoo.h"
+
+#include "models/zoo/builders.h"
+
+namespace dream {
+namespace models {
+namespace zoo {
+
+Model
+kwsRes8()
+{
+    Model m;
+    m.name = "KWS_res8";
+    // 40 MFCC features x 101 frames, res8 (Tang & Lin, ICASSP'18).
+    Cursor cur{101, 40, 1};
+    addConv(m.layers, cur, "conv0", 45, 3, 1);
+    addPool(m.layers, cur, "pool0", 4, 4);
+    for (int b = 0; b < 3; ++b) {
+        const std::string name = "res" + std::to_string(b);
+        addConv(m.layers, cur, name + ".conv1", 45, 3, 1);
+        addConv(m.layers, cur, name + ".conv2", 45, 3, 1);
+        m.layers.push_back(eltwise(name + ".add", cur.h, cur.w, cur.c));
+    }
+    addPool(m.layers, cur, "gap", cur.h, cur.h);
+    m.layers.push_back(fc("cls", 45, 12));
+    return m;
+}
+
+Model
+gnmt()
+{
+    Model m;
+    m.name = "GNMT";
+    // Mobile-scaled GNMT: 2+2 LSTM layers, 1024 hidden, 16k vocab,
+    // 32 decode steps (sustained conversational translation).
+    // Preserves the datacenter original's RNN/FC-dominated,
+    // weight-bandwidth-bound profile.
+    constexpr uint32_t hidden = 1024;
+    constexpr uint32_t steps = 32;
+    constexpr uint32_t vocab = 16384;
+    // LSTM cell: [x_t ; h_{t-1}] (2*hidden) -> 4 gates (4*hidden).
+    m.layers.push_back(rnn("enc.lstm0", 2 * hidden, 4 * hidden, steps));
+    m.layers.push_back(rnn("enc.lstm1", 2 * hidden, 4 * hidden, steps));
+    m.layers.push_back(rnn("dec.lstm0", 2 * hidden, 4 * hidden, steps));
+    m.layers.push_back(rnn("dec.attn", hidden, 2 * hidden, steps));
+    m.layers.push_back(rnn("dec.lstm1", 2 * hidden, 4 * hidden, steps));
+    m.layers.push_back(rnn("dec.proj", hidden, vocab, steps));
+    return m;
+}
+
+Model
+vggVoxCeleb()
+{
+    Model m;
+    m.name = "VGG_VoxCeleb";
+    // VGG-M verification network (Nagrani et al., Interspeech'17),
+    // at a 384x224 deployment crop. AR social interaction verifies
+    // kFaces detected faces per frame (multi-party conversation),
+    // expressed with the repeat field.
+    constexpr uint32_t kFaces = 2;
+    Cursor cur{384, 224, 1};
+    const auto add = [&m](Layer l) {
+        l.repeat = kFaces;
+        m.layers.push_back(std::move(l));
+    };
+    Cursor c = cur;
+    auto conv_adv = [&c, &add](const std::string& name, uint32_t out_c,
+                               uint32_t k, uint32_t stride) {
+        Layer l = conv(name, c.h, c.w, c.c, out_c, k, stride);
+        c.h = l.outH();
+        c.w = l.outW();
+        c.c = out_c;
+        add(std::move(l));
+    };
+    auto pool_adv = [&c, &add](const std::string& name, uint32_t k,
+                               uint32_t stride) {
+        Layer l = pool(name, c.h, c.w, c.c, k, stride);
+        c.h = l.outH();
+        c.w = l.outW();
+        add(std::move(l));
+    };
+    conv_adv("conv1", 96, 7, 2);
+    pool_adv("pool1", 3, 2);
+    conv_adv("conv2", 256, 5, 2);
+    pool_adv("pool2", 3, 2);
+    conv_adv("conv3", 384, 3, 1);
+    conv_adv("conv4", 256, 3, 1);
+    conv_adv("conv5", 256, 3, 1);
+    pool_adv("pool5", 5, 3);
+    // fc6 is a 9x1 conv applied at each temporal position of the
+    // pooled map (support 9 x 256), then pooled over time.
+    m.layers.push_back(rnn("fc6", 9 * 256, 4096, c.w * kFaces));
+    Layer fc7 = fc("fc7", 4096, 1024);
+    fc7.repeat = kFaces;
+    m.layers.push_back(std::move(fc7));
+    Layer fc8 = fc("fc8.embed", 1024, 1024);
+    fc8.repeat = kFaces;
+    m.layers.push_back(std::move(fc8));
+    return m;
+}
+
+} // namespace zoo
+} // namespace models
+} // namespace dream

@@ -1,0 +1,134 @@
+#include "models/zoo/builders.h"
+
+#include <cassert>
+
+namespace dream {
+namespace models {
+namespace zoo {
+
+void
+addConv(std::vector<Layer>& layers, Cursor& cur, const std::string& name,
+        uint32_t out_c, uint32_t k, uint32_t stride)
+{
+    Layer l = conv(name, cur.h, cur.w, cur.c, out_c, k, stride);
+    cur.h = l.outH();
+    cur.w = l.outW();
+    cur.c = out_c;
+    layers.push_back(std::move(l));
+}
+
+void
+addConv1d(std::vector<Layer>& layers, Cursor& cur, const std::string& name,
+          uint32_t out_c, uint32_t k, uint32_t stride)
+{
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Conv2d;
+    l.inH = 1;
+    l.inW = cur.w;
+    l.inC = cur.c;
+    l.outC = out_c;
+    l.kH = 1;
+    l.kW = k;
+    l.stride = stride;
+    cur.h = 1;
+    cur.w = l.outW();
+    cur.c = out_c;
+    layers.push_back(std::move(l));
+}
+
+void
+addDwConv(std::vector<Layer>& layers, Cursor& cur, const std::string& name,
+          uint32_t k, uint32_t stride)
+{
+    Layer l = dwConv(name, cur.h, cur.w, cur.c, k, stride);
+    cur.h = l.outH();
+    cur.w = l.outW();
+    layers.push_back(std::move(l));
+}
+
+void
+addPool(std::vector<Layer>& layers, Cursor& cur, const std::string& name,
+        uint32_t k, uint32_t stride)
+{
+    Layer l = pool(name, cur.h, cur.w, cur.c, k, stride);
+    cur.h = l.outH();
+    cur.w = l.outW();
+    layers.push_back(std::move(l));
+}
+
+size_t
+addInvertedResidual(std::vector<Layer>& layers, Cursor& cur,
+                    const std::string& name, uint32_t out_c, uint32_t k,
+                    uint32_t stride, uint32_t expand)
+{
+    assert(expand >= 1);
+    const uint32_t in_c = cur.c;
+    const bool residual = (stride == 1 && in_c == out_c);
+    size_t added = 0;
+    if (expand > 1) {
+        Layer e = pwConv(name + ".expand", cur.h, cur.w, cur.c,
+                         in_c * expand);
+        cur.c = in_c * expand;
+        layers.push_back(std::move(e));
+        ++added;
+    }
+    addDwConv(layers, cur, name + ".dw", k, stride);
+    ++added;
+    Layer p = pwConv(name + ".project", cur.h, cur.w, cur.c, out_c);
+    cur.c = out_c;
+    layers.push_back(std::move(p));
+    ++added;
+    if (residual) {
+        layers.push_back(eltwise(name + ".add", cur.h, cur.w, cur.c));
+        ++added;
+    }
+    return added;
+}
+
+size_t
+addBasicBlock(std::vector<Layer>& layers, Cursor& cur,
+              const std::string& name, uint32_t out_c, uint32_t stride)
+{
+    const bool projection = (stride != 1 || cur.c != out_c);
+    size_t added = 0;
+    if (projection) {
+        // Shortcut projection runs alongside the main path; appended
+        // first so the block's skippable range stays contiguous.
+        Layer s = conv(name + ".proj", cur.h, cur.w, cur.c, out_c, 1,
+                       stride);
+        layers.push_back(std::move(s));
+        ++added;
+    }
+    addConv(layers, cur, name + ".conv1", out_c, 3, stride);
+    ++added;
+    addConv(layers, cur, name + ".conv2", out_c, 3, 1);
+    ++added;
+    layers.push_back(eltwise(name + ".add", cur.h, cur.w, cur.c));
+    ++added;
+    return added;
+}
+
+void
+addInception(std::vector<Layer>& layers, Cursor& cur,
+             const std::string& name, uint32_t b1, uint32_t b3r,
+             uint32_t b3, uint32_t b5r, uint32_t b5, uint32_t bp)
+{
+    const Cursor in = cur;
+    // Branch 1: 1x1.
+    layers.push_back(pwConv(name + ".b1", in.h, in.w, in.c, b1));
+    // Branch 2: 1x1 reduce -> 3x3.
+    layers.push_back(pwConv(name + ".b3r", in.h, in.w, in.c, b3r));
+    layers.push_back(conv(name + ".b3", in.h, in.w, b3r, b3, 3, 1));
+    // Branch 3: 1x1 reduce -> 5x5.
+    layers.push_back(pwConv(name + ".b5r", in.h, in.w, in.c, b5r));
+    layers.push_back(conv(name + ".b5", in.h, in.w, b5r, b5, 5, 1));
+    // Branch 4: 3x3 pool -> 1x1 proj.
+    layers.push_back(pool(name + ".pool", in.h, in.w, in.c, 3, 1));
+    layers.push_back(pwConv(name + ".bp", in.h, in.w, in.c, bp));
+    cur.c = b1 + b3 + b5 + bp;
+}
+
+} // namespace zoo
+} // namespace models
+} // namespace dream

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reusable block builders for the model zoo (inverted residuals,
+ * residual blocks, inception modules, conv1d).
+ */
+
+#ifndef DREAM_MODELS_ZOO_BUILDERS_H
+#define DREAM_MODELS_ZOO_BUILDERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/layer.h"
+
+namespace dream {
+namespace models {
+namespace zoo {
+
+/**
+ * Running spatial cursor used while appending blocks to a layer list.
+ * Tracks the current feature-map shape so block builders can chain.
+ */
+struct Cursor {
+    uint32_t h = 0;
+    uint32_t w = 0;
+    uint32_t c = 0;
+};
+
+/** Append a conv + implicit BN/ReLU; advances the cursor. */
+void addConv(std::vector<Layer>& layers, Cursor& cur,
+             const std::string& name, uint32_t out_c, uint32_t k,
+             uint32_t stride = 1);
+
+/** Append a 1-D temporal conv over a (1 x T x C) tensor. */
+void addConv1d(std::vector<Layer>& layers, Cursor& cur,
+               const std::string& name, uint32_t out_c, uint32_t k,
+               uint32_t stride = 1);
+
+/** Append a depthwise conv; advances the cursor. */
+void addDwConv(std::vector<Layer>& layers, Cursor& cur,
+               const std::string& name, uint32_t k, uint32_t stride = 1);
+
+/** Append a pooling layer; advances the cursor. */
+void addPool(std::vector<Layer>& layers, Cursor& cur,
+             const std::string& name, uint32_t k, uint32_t stride);
+
+/**
+ * Append a MobileNetV2-style inverted-residual block:
+ * pw expand (ratio @p expand) -> dw kxk (stride) -> pw project
+ * (+ residual eltwise when stride==1 and channels match).
+ *
+ * @return the number of layers appended.
+ */
+size_t addInvertedResidual(std::vector<Layer>& layers, Cursor& cur,
+                           const std::string& name, uint32_t out_c,
+                           uint32_t k, uint32_t stride, uint32_t expand);
+
+/**
+ * Append a ResNet basic block (two 3x3 convs + residual add).
+ * When @p stride > 1 or channels change, a projection shortcut conv is
+ * also appended.
+ *
+ * @return the number of layers appended.
+ */
+size_t addBasicBlock(std::vector<Layer>& layers, Cursor& cur,
+                     const std::string& name, uint32_t out_c,
+                     uint32_t stride = 1);
+
+/**
+ * Append a GoogLeNet inception module with branch output channels
+ * @p b1 (1x1), @p b3r -> @p b3 (3x3 reduce/out), @p b5r -> @p b5
+ * (5x5 reduce/out) and @p bp (pool-proj). Branches are laid out
+ * sequentially in the layer list (the scheduler treats the model as a
+ * layer chain; branch-level parallelism inside one model is below the
+ * paper's scheduling granularity).
+ */
+void addInception(std::vector<Layer>& layers, Cursor& cur,
+                  const std::string& name, uint32_t b1, uint32_t b3r,
+                  uint32_t b3, uint32_t b5r, uint32_t b5, uint32_t bp);
+
+} // namespace zoo
+} // namespace models
+} // namespace dream
+
+#endif // DREAM_MODELS_ZOO_BUILDERS_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Vision backbones: FBNet-C, SSD-MobileNetV2 and the Once-for-All
+ * Supernet used for visual context understanding.
+ */
+
+#include "models/zoo.h"
+
+#include "models/zoo/builders.h"
+
+namespace dream {
+namespace models {
+namespace zoo {
+
+namespace {
+
+/** One stage spec of an inverted-residual chain. */
+struct MbStage {
+    uint32_t outC;
+    uint32_t numBlocks;
+    uint32_t kernel;
+    uint32_t stride;  ///< stride of the first block in the stage
+    uint32_t expand;
+};
+
+void
+addMbStages(std::vector<Layer>& layers, Cursor& cur,
+            const std::string& prefix, const std::vector<MbStage>& stages)
+{
+    int stage_idx = 0;
+    for (const auto& st : stages) {
+        for (uint32_t b = 0; b < st.numBlocks; ++b) {
+            const std::string name = prefix + ".s" +
+                std::to_string(stage_idx) + ".b" + std::to_string(b);
+            addInvertedResidual(layers, cur, name, st.outC, st.kernel,
+                                b == 0 ? st.stride : 1, st.expand);
+        }
+        ++stage_idx;
+    }
+}
+
+} // anonymous namespace
+
+Model
+fbnetC()
+{
+    Model m;
+    m.name = "FBNet-C";
+    Cursor cur{224, 224, 3};
+    addConv(m.layers, cur, "stem", 16, 3, 2);
+    // FBNet-C block schedule (Wu et al., CVPR'19), kernels mixed 3/5.
+    addMbStages(m.layers, cur, "fbnet",
+                {{16, 1, 3, 1, 1},
+                 {24, 4, 3, 2, 6},
+                 {32, 4, 5, 2, 6},
+                 {64, 4, 5, 2, 6},
+                 {112, 4, 3, 1, 6},
+                 {184, 4, 5, 2, 6},
+                 {352, 1, 3, 1, 6}});
+    addConv(m.layers, cur, "head.pw", 1504, 1, 1);
+    addPool(m.layers, cur, "head.gap", 7, 7);
+    m.layers.push_back(fc("head.gaze", 1504, 64));
+    return m;
+}
+
+Model
+ssdMobileNetV2()
+{
+    Model m;
+    m.name = "SSD_MobileNetV2";
+    Cursor cur{300, 300, 3};
+    addConv(m.layers, cur, "stem", 32, 3, 2);
+    addMbStages(m.layers, cur, "mnv2",
+                {{16, 1, 3, 1, 1},
+                 {24, 2, 3, 2, 6},
+                 {32, 3, 3, 2, 6},
+                 {64, 4, 3, 2, 6},
+                 {96, 3, 3, 1, 6},
+                 {160, 3, 3, 2, 6},
+                 {320, 1, 3, 1, 6}});
+    addConv(m.layers, cur, "head.pw", 1280, 1, 1);
+    // SSD extra feature layers.
+    addConv(m.layers, cur, "extra0.reduce", 256, 1, 1);
+    addConv(m.layers, cur, "extra0", 512, 3, 2);
+    addConv(m.layers, cur, "extra1.reduce", 128, 1, 1);
+    addConv(m.layers, cur, "extra1", 256, 3, 2);
+    addConv(m.layers, cur, "extra2.reduce", 128, 1, 1);
+    addConv(m.layers, cur, "extra2", 256, 3, 2);
+    // Class/box prediction convs on the last feature map; earlier
+    // heads are folded into one representative conv per map scale.
+    addConv(m.layers, cur, "pred.cls", 486, 3, 1);
+    addConv(m.layers, cur, "pred.box", 24, 3, 1);
+    return m;
+}
+
+namespace {
+
+/**
+ * Build an OFA MobileNetV3-style body from multipliers. The Original
+ * subnet uses full depth/width; lighter subnets shrink both plus the
+ * expansion ratio, mirroring Once-for-All's elastic depth/width/kernel.
+ */
+std::vector<Layer>
+ofaBody(const std::string& prefix, Cursor cur,
+        const std::vector<MbStage>& stages, uint32_t head_c)
+{
+    std::vector<Layer> layers;
+    addMbStages(layers, cur, prefix, stages);
+    addConv(layers, cur, prefix + ".head.pw", head_c, 1, 1);
+    addPool(layers, cur, prefix + ".gap", cur.h, cur.h);
+    layers.push_back(fc(prefix + ".cls", head_c, 400));
+    return layers;
+}
+
+} // anonymous namespace
+
+Model
+ofaSupernet()
+{
+    Model m;
+    m.name = "OFA_Supernet";
+    Cursor cur{224, 224, 3};
+    addConv(m.layers, cur, "stem", 16, 3, 2);
+    addInvertedResidual(m.layers, cur, "stem.b0", 16, 3, 1, 1);
+    // Variants diverge after the shared stem.
+    m.supernetSwitchPoint = m.layers.size();
+    const Cursor at_switch = cur;
+
+    // Original (heaviest) subnet: full depth, width and expansion.
+    auto original =
+        ofaBody("ofa", at_switch,
+                {{24, 3, 5, 2, 6},
+                 {40, 4, 5, 2, 6},
+                 {80, 4, 3, 2, 6},
+                 {112, 4, 5, 1, 6},
+                 {160, 4, 5, 2, 6}},
+                960);
+    m.layers.insert(m.layers.end(), original.begin(), original.end());
+
+    // Lighter subnets: elastic depth (v1), width (v2), both (v3).
+    m.variants.push_back(
+        {"ofa-v1", ofaBody("ofa.v1", at_switch,
+                           {{24, 2, 5, 2, 4},
+                            {40, 3, 5, 2, 4},
+                            {80, 3, 3, 2, 4},
+                            {112, 3, 5, 1, 4},
+                            {160, 3, 5, 2, 4}},
+                           960)});
+    m.variants.push_back(
+        {"ofa-v2", ofaBody("ofa.v2", at_switch,
+                           {{24, 2, 3, 2, 4},
+                            {32, 2, 3, 2, 4},
+                            {64, 3, 3, 2, 4},
+                            {96, 2, 3, 1, 4},
+                            {128, 2, 3, 2, 4}},
+                           640)});
+    m.variants.push_back(
+        {"ofa-v3", ofaBody("ofa.v3", at_switch,
+                           {{16, 1, 3, 2, 3},
+                            {24, 2, 3, 2, 3},
+                            {40, 2, 3, 2, 3},
+                            {64, 2, 3, 1, 3},
+                            {96, 1, 3, 2, 3}},
+                           480)});
+    return m;
+}
+
+} // namespace zoo
+} // namespace models
+} // namespace dream

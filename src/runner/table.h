@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width console table printer used by the bench harness to
+ * emit the rows/series each paper table and figure reports.
+ */
+
+#ifndef DREAM_RUNNER_TABLE_H
+#define DREAM_RUNNER_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dream {
+namespace runner {
+
+/** Minimal aligned-column table writer. */
+class Table {
+public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns (header + separator + rows). */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fraction digits. */
+std::string fmt(double v, int digits = 4);
+
+/** Format a percentage (0.123 -> "12.3%"). */
+std::string fmtPct(double v, int digits = 1);
+
+/** Geometric mean of positive values (0 on empty input). */
+double geomean(const std::vector<double>& values);
+
+} // namespace runner
+} // namespace dream
+
+#endif // DREAM_RUNNER_TABLE_H

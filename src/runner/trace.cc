@@ -1,0 +1,37 @@
+#include "runner/trace.h"
+
+#include <sstream>
+
+namespace dream {
+namespace runner {
+
+void
+writeFrameTraceCsv(std::ostream& os, const sim::RunStats& stats,
+                   const workload::Scenario& scenario)
+{
+    os << "model,frame,arrival_us,deadline_us,completion_us,"
+          "latency_us,violated,dropped,variant,energy_mj\n";
+    for (const auto& fr : stats.frames) {
+        const auto& model = scenario.tasks[size_t(fr.task)].model;
+        const bool completed = fr.completionUs >= 0.0;
+        os << model.name << ',' << fr.frameIdx << ',' << fr.arrivalUs
+           << ',' << fr.deadlineUs << ','
+           << (completed ? fr.completionUs : -1.0) << ','
+           << (completed ? fr.completionUs - fr.arrivalUs : -1.0)
+           << ',' << (fr.violated ? 1 : 0) << ','
+           << (fr.dropped ? 1 : 0) << ',' << fr.variant << ','
+           << fr.energyMj << '\n';
+    }
+}
+
+std::string
+frameTraceCsv(const sim::RunStats& stats,
+              const workload::Scenario& scenario)
+{
+    std::ostringstream os;
+    writeFrameTraceCsv(os, stats, scenario);
+    return os.str();
+}
+
+} // namespace runner
+} // namespace dream

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Frame-trace export: write a run's per-frame outcomes as CSV for
+ * offline analysis (latency CDFs, violation timelines, plotting the
+ * paper's figures from raw data).
+ */
+
+#ifndef DREAM_RUNNER_TRACE_H
+#define DREAM_RUNNER_TRACE_H
+
+#include <ostream>
+#include <string>
+
+#include "sim/stats.h"
+#include "workload/scenario.h"
+
+namespace dream {
+namespace runner {
+
+/**
+ * Render the run's frame trace as CSV (header + one row per frame):
+ * model,frame,arrival_us,deadline_us,completion_us,latency_us,
+ * violated,dropped,variant,energy_mj
+ */
+void writeFrameTraceCsv(std::ostream& os, const sim::RunStats& stats,
+                        const workload::Scenario& scenario);
+
+/** writeFrameTraceCsv() into a string. */
+std::string frameTraceCsv(const sim::RunStats& stats,
+                          const workload::Scenario& scenario);
+
+} // namespace runner
+} // namespace dream
+
+#endif // DREAM_RUNNER_TRACE_H

@@ -1,0 +1,50 @@
+#include "sched/fcfs.h"
+
+#include <algorithm>
+
+namespace dream {
+namespace sched {
+
+sim::Plan
+FcfsScheduler::plan(const sim::SchedulerContext& ctx)
+{
+    sim::Plan p;
+
+    // Oldest request first (by arrival, then id for determinism).
+    std::vector<const sim::Request*> ready = ctx.ready;
+    std::sort(ready.begin(), ready.end(),
+              [](const sim::Request* a, const sim::Request* b) {
+                  if (a->arrivalUs != b->arrivalUs)
+                      return a->arrivalUs < b->arrivalUs;
+                  return a->id < b->id;
+              });
+
+    // Whole-model granularity onto idle accelerators in
+    // longest-idle-first order ("the first resource that became
+    // available"); placement-blind by design.
+    std::vector<size_t> idle;
+    for (size_t a = 0; a < ctx.numAccels(); ++a) {
+        if (ctx.accel(a).idle())
+            idle.push_back(a);
+    }
+    std::sort(idle.begin(), idle.end(), [&ctx](size_t a, size_t b) {
+        return ctx.accel(a).busyUntilUs < ctx.accel(b).busyUntilUs;
+    });
+
+    size_t next_ready = 0;
+    for (const size_t a : idle) {
+        if (next_ready >= ready.size())
+            break;
+        const sim::Request* req = ready[next_ready++];
+        sim::Dispatch d;
+        d.requestId = req->id;
+        d.numLayers = req->remainingLayers();
+        d.accel = int(a);
+        d.slices = 0; // whole accelerator
+        p.dispatches.push_back(d);
+    }
+    return p;
+}
+
+} // namespace sched
+} // namespace dream

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Dynamic first-come-first-served baseline: serves the oldest ready
+ * request at model granularity on the first idle accelerator
+ * (Nexus/Clockwork-style FCFS, Section 5.1 baseline (1)).
+ */
+
+#ifndef DREAM_SCHED_FCFS_H
+#define DREAM_SCHED_FCFS_H
+
+#include "sim/scheduler.h"
+
+namespace dream {
+namespace sched {
+
+/** Dynamic FCFS at model granularity. */
+class FcfsScheduler : public sim::Scheduler {
+public:
+    std::string name() const override { return "FCFS"; }
+
+    sim::Plan plan(const sim::SchedulerContext& ctx) override;
+};
+
+} // namespace sched
+} // namespace dream
+
+#endif // DREAM_SCHED_FCFS_H

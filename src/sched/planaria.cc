@@ -1,0 +1,96 @@
+#include "sched/planaria.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/cost_cache.h"
+
+namespace dream {
+namespace sched {
+
+double
+PlanariaScheduler::remainingLatencyUs(const sim::SchedulerContext& ctx,
+                                      const sim::Request& req,
+                                      size_t accel, uint32_t slices)
+{
+    // Planaria's internal prediction scales the full-allocation
+    // latency by the slice fraction (its sub-arrays scale PEs and
+    // bandwidth proportionally); the simulator charges exact costs.
+    const auto& cache = sim::ensureCostCache(req, *ctx.costs);
+    const double full = cache.suffixByAcc[accel][req.nextLayer];
+    const uint32_t num_slices =
+        ctx.system->accelerators[accel].numSlices;
+    return full * double(num_slices) / double(slices);
+}
+
+sim::Plan
+PlanariaScheduler::plan(const sim::SchedulerContext& ctx)
+{
+    sim::Plan p;
+
+    // EDF order (deadline-driven priority).
+    std::vector<const sim::Request*> ready = ctx.ready;
+    std::sort(ready.begin(), ready.end(),
+              [](const sim::Request* a, const sim::Request* b) {
+                  if (a->deadlineUs != b->deadlineUs)
+                      return a->deadlineUs < b->deadlineUs;
+                  return a->id < b->id;
+              });
+
+    // Track slice claims made within this planning round.
+    std::vector<uint32_t> free(ctx.numAccels());
+    for (size_t a = 0; a < ctx.numAccels(); ++a)
+        free[a] = ctx.accel(a).freeSlices;
+
+    for (const auto* req : ready) {
+        const double slack = req->deadlineUs - ctx.nowUs;
+
+        // Task throttling: the smallest allocation on any accelerator
+        // whose predicted remaining latency meets the deadline.
+        int best_acc = -1;
+        uint32_t best_slices = 0;
+        double best_latency = std::numeric_limits<double>::max();
+        bool best_meets = false;
+        for (size_t a = 0; a < ctx.numAccels(); ++a) {
+            for (uint32_t s = 1; s <= free[a]; ++s) {
+                const double lat =
+                    remainingLatencyUs(ctx, *req, a, s);
+                const bool meets = lat <= slack;
+                // Prefer: meets-deadline with fewest slices, then
+                // (when nothing meets) the fastest full allocation.
+                bool better = false;
+                if (meets && !best_meets) {
+                    better = true;
+                } else if (meets && best_meets) {
+                    better = s < best_slices ||
+                             (s == best_slices && lat < best_latency);
+                } else if (!meets && !best_meets) {
+                    better = lat < best_latency;
+                }
+                if (better) {
+                    best_acc = int(a);
+                    best_slices = s;
+                    best_latency = lat;
+                    best_meets = meets;
+                }
+                if (meets)
+                    break; // smallest s on this accel found
+            }
+        }
+        if (best_acc < 0)
+            continue; // no free capacity anywhere
+
+        // Layer-wise dispatch: Planaria re-fissions at layer bounds.
+        sim::Dispatch d;
+        d.requestId = req->id;
+        d.numLayers = 1;
+        d.accel = best_acc;
+        d.slices = best_slices;
+        p.dispatches.push_back(d);
+        free[size_t(best_acc)] -= best_slices;
+    }
+    return p;
+}
+
+} // namespace sched
+} // namespace dream

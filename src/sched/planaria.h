@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Planaria-style baseline: deadline-aware spatial fission.
+ *
+ * Planaria (Ghodrati et al., MICRO'20) dynamically splits an
+ * accelerator into sub-arrays and co-locates DNNs, allocating each
+ * task the fewest resources that still meet its deadline ("task
+ * throttling") so other tasks can co-run. Per the paper's methodology
+ * we model its scheduling component on the slice-divisible
+ * accelerators of this simulator: EDF-ordered layer-wise dispatch,
+ * per-task minimal slice allocation against the predicted remaining
+ * latency, spatial co-location of multiple tasks per accelerator.
+ * It is deadline-aware and latency-aware but energy-blind and has no
+ * dynamicity adaptation, frame dropping or Supernet switching.
+ */
+
+#ifndef DREAM_SCHED_PLANARIA_H
+#define DREAM_SCHED_PLANARIA_H
+
+#include "sim/scheduler.h"
+
+namespace dream {
+namespace sched {
+
+/** Deadline-aware spatial-fission scheduler. */
+class PlanariaScheduler : public sim::Scheduler {
+public:
+    std::string name() const override { return "Planaria"; }
+
+    sim::Plan plan(const sim::SchedulerContext& ctx) override;
+
+    /**
+     * Predicted remaining latency of @p req if every remaining layer
+     * runs on @p accel with @p slices slices (exposed for testing).
+     */
+    static double remainingLatencyUs(const sim::SchedulerContext& ctx,
+                                     const sim::Request& req,
+                                     size_t accel, uint32_t slices);
+};
+
+} // namespace sched
+} // namespace dream
+
+#endif // DREAM_SCHED_PLANARIA_H

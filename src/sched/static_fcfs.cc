@@ -1,0 +1,159 @@
+#include "sched/static_fcfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dream {
+namespace sched {
+
+namespace {
+
+/** Worst-case whole-model latency on an accelerator (full slices). */
+double
+worstCaseModelLatencyUs(const models::Model& model,
+                        const cost::CostTable& costs, size_t acc)
+{
+    double sum = 0.0;
+    for (const auto& l : model.layers)
+        sum += costs.cost(l, acc).latencyUs;
+    return sum;
+}
+
+/** Grace period before abandoning a reservation whose work never
+ *  materialised, as a fraction of the task period. */
+constexpr double kAbandonGraceFraction = 1.0;
+
+} // anonymous namespace
+
+void
+StaticFcfsScheduler::buildTimetable(const sim::SchedulerContext& ctx)
+{
+    const auto& scenario = *ctx.scenario;
+    const auto& costs = *ctx.costs;
+
+    // Virtual worst-case frame releases. Dependent tasks are assumed
+    // released after the parent's mean worst-case latency.
+    struct VirtualFrame {
+        workload::TaskId task;
+        int frameIdx;
+        double releaseUs;
+    };
+    std::vector<VirtualFrame> virtuals;
+    std::vector<double> release_offset(scenario.tasks.size(), 0.0);
+    for (workload::TaskId t = 0; t < workload::TaskId(
+             scenario.tasks.size()); ++t) {
+        const auto& spec = scenario.tasks[t];
+        if (spec.dependsOn == workload::kNoParent)
+            continue;
+        const auto& parent = scenario.tasks[spec.dependsOn].model;
+        double avg = 0.0;
+        for (size_t a = 0; a < ctx.numAccels(); ++a)
+            avg += worstCaseModelLatencyUs(parent, costs, a);
+        release_offset[t] = release_offset[spec.dependsOn] +
+                            avg / double(ctx.numAccels());
+    }
+    for (workload::TaskId t = 0; t < workload::TaskId(
+             scenario.tasks.size()); ++t) {
+        const auto& spec = scenario.tasks[t];
+        const double period = spec.periodUs();
+        const double until = std::min(ctx.windowUs, spec.endUs);
+        for (int idx = 0;; ++idx) {
+            const double at = spec.startUs + release_offset[t] +
+                              double(idx) * period;
+            if (at >= until - 1e-3)
+                break;
+            virtuals.push_back({t, idx, at});
+        }
+    }
+    std::sort(virtuals.begin(), virtuals.end(),
+              [](const VirtualFrame& a, const VirtualFrame& b) {
+                  if (a.releaseUs != b.releaseUs)
+                      return a.releaseUs < b.releaseUs;
+                  return a.task < b.task;
+              });
+
+    // Greedy FCFS packing onto the accelerator that frees earliest.
+    std::vector<double> free_at(ctx.numAccels(), 0.0);
+    slots_.clear();
+    slotIndex_.clear();
+    for (const auto& vf : virtuals) {
+        size_t best = 0;
+        for (size_t a = 1; a < free_at.size(); ++a) {
+            if (free_at[a] < free_at[best])
+                best = a;
+        }
+        const double start = std::max(vf.releaseUs, free_at[best]);
+        const double latency = worstCaseModelLatencyUs(
+            scenario.tasks[vf.task].model, costs, best);
+        Slot slot;
+        slot.task = vf.task;
+        slot.frameIdx = vf.frameIdx;
+        slot.accel = int(best);
+        slot.startUs = start;
+        slot.endUs = start + latency;
+        free_at[best] = slot.endUs;
+        slotIndex_[{vf.task, vf.frameIdx}] = slots_.size();
+        slots_.push_back(slot);
+    }
+}
+
+void
+StaticFcfsScheduler::reset(const sim::SchedulerContext& ctx)
+{
+    buildTimetable(ctx);
+}
+
+sim::Plan
+StaticFcfsScheduler::plan(const sim::SchedulerContext& ctx)
+{
+    sim::Plan p;
+    double next_wake = std::numeric_limits<double>::infinity();
+
+    // Index ready requests by (task, frame).
+    std::map<std::pair<workload::TaskId, int>, const sim::Request*>
+        ready;
+    for (const auto* req : ctx.ready)
+        ready[{req->task, req->frameIdx}] = req;
+
+    std::vector<bool> accel_claimed(ctx.numAccels(), false);
+    for (auto& slot : slots_) {
+        if (slot.used || slot.startUs > ctx.nowUs) {
+            if (!slot.used && slot.startUs > ctx.nowUs)
+                next_wake = std::min(next_wake, slot.startUs);
+            continue;
+        }
+        const auto it = ready.find({slot.task, slot.frameIdx});
+        if (it == ready.end()) {
+            // Reserved work has not materialised. Hold the
+            // reservation for a grace period, then abandon it.
+            const double grace =
+                ctx.scenario->tasks[slot.task].periodUs() *
+                kAbandonGraceFraction;
+            if (ctx.nowUs >= slot.startUs + grace)
+                slot.used = true;
+            else
+                next_wake = std::min(next_wake, slot.startUs + grace);
+            continue;
+        }
+        const auto& acc = ctx.accel(size_t(slot.accel));
+        if (!acc.idle() || accel_claimed[size_t(slot.accel)])
+            continue;
+        sim::Dispatch d;
+        d.requestId = it->second->id;
+        d.numLayers = it->second->remainingLayers();
+        d.accel = slot.accel;
+        d.slices = 0;
+        p.dispatches.push_back(d);
+        accel_claimed[size_t(slot.accel)] = true;
+        slot.used = true;
+        ready.erase(it);
+    }
+
+    if (p.empty() && std::isfinite(next_wake))
+        p.wakeUpUs = next_wake;
+    return p;
+}
+
+} // namespace sched
+} // namespace dream

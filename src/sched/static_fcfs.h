@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Static FCFS baseline for the Figure 2 motivation study.
+ *
+ * Builds one offline timetable for the whole window assuming the
+ * worst-case dynamic paths (every cascade triggers, no skip gates or
+ * early exits fire, Supernets run the Original subnet), then replays
+ * those fixed (start time, accelerator) reservations at run time.
+ * Reservations for work that never materialises (an untriggered
+ * cascade, a skipped block) are wasted, which is exactly the static
+ * scheduling weakness Section 2.2 of the paper describes.
+ */
+
+#ifndef DREAM_SCHED_STATIC_FCFS_H
+#define DREAM_SCHED_STATIC_FCFS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace dream {
+namespace sched {
+
+/** Offline-timetable FCFS at model granularity. */
+class StaticFcfsScheduler : public sim::Scheduler {
+public:
+    std::string name() const override { return "StaticFCFS"; }
+
+    void reset(const sim::SchedulerContext& ctx) override;
+    sim::Plan plan(const sim::SchedulerContext& ctx) override;
+
+    /** One offline reservation (exposed for testing). */
+    struct Slot {
+        workload::TaskId task = 0;
+        int frameIdx = 0;
+        int accel = 0;
+        double startUs = 0.0;
+        double endUs = 0.0;
+        bool used = false;
+    };
+
+    /** The offline timetable built by reset(). */
+    const std::vector<Slot>& timetable() const { return slots_; }
+
+private:
+    void buildTimetable(const sim::SchedulerContext& ctx);
+
+    std::vector<Slot> slots_;
+    /** (task, frameIdx) -> slot index. */
+    std::map<std::pair<workload::TaskId, int>, size_t> slotIndex_;
+};
+
+} // namespace sched
+} // namespace dream
+
+#endif // DREAM_SCHED_STATIC_FCFS_H

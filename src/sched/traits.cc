@@ -1,0 +1,54 @@
+#include "sched/traits.h"
+
+namespace dream {
+namespace sched {
+
+std::vector<SchedulerTraits>
+allSchedulerTraits()
+{
+    std::vector<SchedulerTraits> rows;
+
+    SchedulerTraits fcfs;
+    fcfs.name = "FCFS";
+    fcfs.concurrent = true;
+    rows.push_back(fcfs);
+
+    SchedulerTraits static_fcfs;
+    static_fcfs.name = "StaticFCFS";
+    rows.push_back(static_fcfs);
+
+    SchedulerTraits veltair;
+    veltair.name = "Veltair";
+    veltair.cascade = true;
+    veltair.concurrent = true;
+    veltair.realTime = true;
+    rows.push_back(veltair);
+
+    SchedulerTraits planaria;
+    planaria.name = "Planaria";
+    planaria.cascade = true;
+    planaria.concurrent = true;
+    planaria.realTime = true;
+    planaria.heterogeneity = true;
+    rows.push_back(planaria);
+
+    SchedulerTraits mapscore;
+    mapscore.name = "DREAM-MapScore";
+    mapscore.cascade = true;
+    mapscore.concurrent = true;
+    mapscore.realTime = true;
+    mapscore.taskDynamicity = true;
+    mapscore.modelDynamicity = true;
+    mapscore.energy = true;
+    mapscore.heterogeneity = true;
+    rows.push_back(mapscore);
+
+    SchedulerTraits full = mapscore;
+    full.name = "DREAM-Full";
+    rows.push_back(full);
+
+    return rows;
+}
+
+} // namespace sched
+} // namespace dream

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Qualitative capability matrix of the implemented schedulers
+ * (Tables 1 and 5 of the paper).
+ */
+
+#ifndef DREAM_SCHED_TRAITS_H
+#define DREAM_SCHED_TRAITS_H
+
+#include <string>
+#include <vector>
+
+namespace dream {
+namespace sched {
+
+/** Which RTMM challenges a scheduler addresses (Table 1 / Table 5). */
+struct SchedulerTraits {
+    std::string name;
+    bool cascade = false;           ///< handles model cascades
+    bool concurrent = false;        ///< handles concurrent pipelines
+    bool realTime = false;          ///< deadline aware
+    bool taskDynamicity = false;    ///< adapts to task-level changes
+    bool modelDynamicity = false;   ///< adapts to model-level changes
+    bool energy = false;            ///< optimises energy
+    bool heterogeneity = false;     ///< dataflow/size aware placement
+};
+
+/** Capability rows for every scheduler in this repository. */
+std::vector<SchedulerTraits> allSchedulerTraits();
+
+} // namespace sched
+} // namespace dream
+
+#endif // DREAM_SCHED_TRAITS_H

@@ -1,0 +1,29 @@
+#include "sim/context_switch.h"
+
+namespace dream {
+namespace sim {
+
+SwitchTraffic
+switchTraffic(const AcceleratorState& acc, const Request& req)
+{
+    SwitchTraffic t;
+
+    // Flush whatever live activations another request left behind.
+    if (acc.residentRequestId >= 0 && acc.residentRequestId != req.id)
+        t.flushBytes = acc.residentBytes;
+
+    // Fetch the incoming request's live activations unless it starts
+    // fresh (layer 0 input is charged as normal layer traffic) or its
+    // tensors are already resident here.
+    const bool mid_model = req.nextLayer > 0;
+    const bool resident_here = acc.residentRequestId == req.id;
+    if (mid_model && !resident_here) {
+        const auto& next = req.path[req.nextLayer];
+        t.fetchBytes = next.inputBytes() / std::max<uint32_t>(1,
+            next.repeat);
+    }
+    return t;
+}
+
+} // namespace sim
+} // namespace dream

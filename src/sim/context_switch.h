@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Context-switch traffic model (Section 3.4 of the paper).
+ *
+ * Switching an accelerator between tasks flushes the switched-out
+ * model's live activations to DRAM and fetches the switched-in
+ * model's. The traffic is computed from the actual live tensors:
+ *  - flush: the resident activation bytes the previous (unfinished)
+ *    request left on the accelerator;
+ *  - fetch: the next layer's input activations, unless the request is
+ *    starting fresh (sensor input is charged by the layer itself) or
+ *    its activations are already resident on this accelerator.
+ *
+ * Both the simulator (exact charging) and the MapScore engine
+ * (Cost_switch term) use this one definition.
+ */
+
+#ifndef DREAM_SIM_CONTEXT_SWITCH_H
+#define DREAM_SIM_CONTEXT_SWITCH_H
+
+#include <cstdint>
+
+#include "sim/request.h"
+
+namespace dream {
+namespace sim {
+
+/** DRAM traffic of a prospective context switch. */
+struct SwitchTraffic {
+    uint64_t flushBytes = 0;
+    uint64_t fetchBytes = 0;
+
+    uint64_t total() const { return flushBytes + fetchBytes; }
+    bool any() const { return total() > 0; }
+};
+
+/**
+ * Traffic of dispatching @p req next on @p acc given the
+ * accelerator's current resident state.
+ */
+SwitchTraffic switchTraffic(const AcceleratorState& acc,
+                            const Request& req);
+
+} // namespace sim
+} // namespace dream
+
+#endif // DREAM_SIM_CONTEXT_SWITCH_H

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Per-request suffix-sum latency caches.
+ *
+ * Scoring (ToGo, minimum_to_go, Planaria's remaining-latency) needs
+ * O(remaining layers x accelerators) sums at every scheduling event.
+ * The sums only change when a request's path is rewritten (Supernet
+ * variant switch), so they are cached per request and invalidated via
+ * Request::pathVersion.
+ */
+
+#ifndef DREAM_SIM_COST_CACHE_H
+#define DREAM_SIM_COST_CACHE_H
+
+#include "costmodel/cost_table.h"
+#include "sim/request.h"
+
+namespace dream {
+namespace sim {
+
+/** Build (if stale) and return the request's suffix-sum cache. */
+const Request::CostCache& ensureCostCache(const Request& req,
+                                          const cost::CostTable& costs);
+
+} // namespace sim
+} // namespace dream
+
+#endif // DREAM_SIM_COST_CACHE_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Run-time entities of the multi-accelerator simulator: inference
+ * requests (materialised frames), accelerator occupancy state and
+ * executing jobs.
+ */
+
+#ifndef DREAM_SIM_REQUEST_H
+#define DREAM_SIM_REQUEST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "models/layer.h"
+#include "workload/scenario.h"
+
+namespace dream {
+namespace sim {
+
+/**
+ * One live inference request: a materialised frame of a task working
+ * through its layer queue. Mirrors the paper's per-task inference
+ * request queues; the simulator keeps frames of one task in FIFO
+ * order and schedules the head frame's next layer(s).
+ */
+struct Request {
+    int id = -1;
+    workload::TaskId task = 0;
+    int frameIdx = 0;
+    double arrivalUs = 0.0;
+    double deadlineUs = 0.0;
+
+    /** Materialised execution path (mutable for Supernet switching). */
+    std::vector<models::Layer> path;
+    /** Next layer index awaiting dispatch. */
+    size_t nextLayer = 0;
+    /** True while a job for this request occupies an accelerator. */
+    bool inFlight = false;
+
+    /** Supernet variant in effect (0 == Original). */
+    int variant = 0;
+    /** Completion time of the lastly finished layer (Tcmpl), or the
+     *  arrival time before any layer ran. Drives the queue-time term
+     *  of the starvation score. */
+    double lastEventUs = 0.0;
+    /** Accelerator that ran the previous layer (PrevAcc), or -1. */
+    int lastAccel = -1;
+
+    /** Bumped whenever `path` is rewritten (variant switches), so
+     *  derived cost caches can invalidate. */
+    uint32_t pathVersion = 0;
+    /** Lazily built suffix-sum latency cache (see sim/cost_cache.h). */
+    struct CostCache {
+        uint32_t version = ~0u;
+        /** suffixAvg[i]: mean-across-accels latency of layers [i..). */
+        std::vector<double> suffixAvg;
+        /** suffixMin[i]: best-accel-per-layer latency of layers [i..). */
+        std::vector<double> suffixMin;
+        /** suffixByAcc[a][i]: full-slice latency on accel a of [i..). */
+        std::vector<std::vector<double>> suffixByAcc;
+    };
+    mutable CostCache costCache;
+
+    bool dropped = false;
+    bool done = false;
+    double completionUs = -1.0;
+    /** Energy actually spent on this frame so far (mJ). */
+    double energyMj = 0.0;
+    /** Worst-case energy of the originally materialised path (mJ). */
+    double worstCaseEnergyMj = 0.0;
+    /** Cascade-gate outcomes, aligned with childrenOf(task). */
+    std::vector<char> childTriggers;
+
+    /** Finished in any way (completed or dropped). */
+    bool finished() const { return done || dropped; }
+    /** Layers still to dispatch. */
+    size_t remainingLayers() const { return path.size() - nextLayer; }
+    /** True once any layer has been dispatched. */
+    bool started() const { return nextLayer > 0 || inFlight; }
+};
+
+/** A block of layers executing on (a slice allocation of) an accel. */
+struct Job {
+    int requestId = -1;
+    size_t layerBegin = 0;  ///< first layer index of the block
+    size_t layerEnd = 0;    ///< one past the last layer of the block
+    int accel = -1;
+    uint32_t slices = 0;
+    double startUs = 0.0;
+    double endUs = 0.0;
+};
+
+/** Dynamic occupancy state of one accelerator. */
+struct AcceleratorState {
+    const hw::AcceleratorConfig* config = nullptr;
+    uint32_t freeSlices = 0;
+    /** Task of the most recently started job (context-switch state). */
+    workload::TaskId lastTask = -1;
+    /** Number of jobs currently running. */
+    uint32_t runningJobs = 0;
+    /** Completion time of the job finishing last on this accel. */
+    double busyUntilUs = 0.0;
+    /** Request whose live activations sit in the on-chip buffer. */
+    int residentRequestId = -1;
+    /** Size of those live activations in bytes. */
+    uint64_t residentBytes = 0;
+
+    bool idle() const { return runningJobs == 0; }
+};
+
+} // namespace sim
+} // namespace dream
+
+#endif // DREAM_SIM_REQUEST_H

@@ -1,0 +1,385 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "costmodel/layer_cost.h"
+#include "sim/context_switch.h"
+
+namespace dream {
+namespace sim {
+
+namespace {
+
+/** Safety bound on scheduler invocations per event (progress guard). */
+constexpr int kMaxPlanRounds = 1024;
+
+/** Tolerance for floating error at the window boundary (us). */
+constexpr double kWindowEpsilonUs = 1e-3;
+
+/** True if a deadline falls inside the accounting window. */
+bool
+inWindow(double deadline_us, double window_us)
+{
+    return deadline_us <= window_us + kWindowEpsilonUs;
+}
+
+} // anonymous namespace
+
+Simulator::Simulator(const hw::SystemConfig& system,
+                     const workload::Scenario& scenario,
+                     const cost::CostTable& costs, SimConfig config)
+    : system_(system), scenario_(scenario), costs_(costs),
+      config_(config)
+{
+    assert(&costs_.system() != nullptr);
+}
+
+Request*
+Simulator::headOfTask(workload::TaskId task)
+{
+    auto& q = taskQueues_[task];
+    while (!q.empty() && requests_[q.front()]->finished())
+        q.erase(q.begin());
+    if (q.empty())
+        return nullptr;
+    return requests_[q.front()].get();
+}
+
+void
+Simulator::admitFrame(const workload::FrameSpec& spec)
+{
+    auto req = std::make_unique<Request>();
+    req->id = int(requests_.size());
+    req->task = spec.task;
+    req->frameIdx = spec.frameIdx;
+    req->arrivalUs = spec.arrivalUs;
+    req->deadlineUs = spec.deadlineUs;
+    req->path = spec.path;
+    req->lastEventUs = spec.arrivalUs;
+    req->childTriggers = spec.childTriggers;
+
+    // Worst-case energy of the materialised path (Algorithm 2 L5
+    // denominator): the worst layer-accelerator pairing per layer.
+    for (const auto& l : req->path)
+        req->worstCaseEnergyMj += costs_.maxEnergyMj(l);
+
+    TaskStats& ts = stats_.tasks[spec.task];
+    if (inWindow(spec.deadlineUs, config_.windowUs)) {
+        ts.totalFrames += 1;
+        ts.worstCaseEnergyMj += req->worstCaseEnergyMj;
+    }
+
+    taskQueues_[spec.task].push_back(req->id);
+    requests_.push_back(std::move(req));
+}
+
+void
+Simulator::completeJob(const Job& job)
+{
+    Request& req = *requests_[job.requestId];
+    AcceleratorState& acc = accels_[job.accel];
+
+    assert(req.inFlight);
+    req.inFlight = false;
+    req.nextLayer = job.layerEnd;
+    req.lastEventUs = job.endUs;
+    req.lastAccel = job.accel;
+
+    acc.freeSlices += job.slices;
+    assert(acc.freeSlices <= acc.config->numSlices);
+    assert(acc.runningJobs > 0);
+    acc.runningJobs -= 1;
+
+    // Record what this job leaves in the on-chip buffer: the input of
+    // the request's next layer when unfinished, nothing otherwise.
+    if (acc.residentRequestId == req.id) {
+        if (req.nextLayer < req.path.size()) {
+            const auto& next = req.path[req.nextLayer];
+            acc.residentBytes =
+                next.inputBytes() / std::max<uint32_t>(1, next.repeat);
+        } else {
+            acc.residentRequestId = -1;
+            acc.residentBytes = 0;
+        }
+    }
+
+    if (req.nextLayer < req.path.size())
+        return;
+
+    // Frame complete.
+    req.done = true;
+    req.completionUs = job.endUs;
+    TaskStats& ts = stats_.tasks[req.task];
+    const bool counted = inWindow(req.deadlineUs, config_.windowUs);
+    if (counted) {
+        ts.completedFrames += 1;
+        ts.sumLatencyUs += req.completionUs - req.arrivalUs;
+        if (req.completionUs > req.deadlineUs)
+            ts.violatedFrames += 1;
+    }
+
+    // Launch dependent pipeline stages whose cascade gate fired.
+    const auto children = scenario_.childrenOf(req.task);
+    for (size_t i = 0; i < children.size(); ++i) {
+        if (i < req.childTriggers.size() && req.childTriggers[i]) {
+            admitFrame(source_->childFrame(children[i], req.frameIdx,
+                                           req.arrivalUs,
+                                           req.completionUs));
+        }
+    }
+}
+
+void
+Simulator::applySwitch(const VariantSwitch& sw)
+{
+    Request& req = *requests_[sw.requestId];
+    const models::Model& model = scenario_.tasks[req.task].model;
+    assert(model.isSupernet());
+    assert(!req.inFlight && !req.finished());
+    assert(req.nextLayer <= model.supernetSwitchPoint);
+    assert(sw.variant >= 0 && size_t(sw.variant) <= model.variants.size());
+    req.path = model.variantPath(size_t(sw.variant));
+    req.variant = sw.variant;
+    req.pathVersion += 1;
+}
+
+void
+Simulator::applyDrop(const FrameDrop& drop)
+{
+    Request& req = *requests_[drop.requestId];
+    assert(!req.inFlight && !req.finished());
+    req.dropped = true;
+    TaskStats& ts = stats_.tasks[req.task];
+    if (inWindow(req.deadlineUs, config_.windowUs)) {
+        ts.droppedFrames += 1;
+        ts.violatedFrames += 1;
+    }
+    // Dropping a frame suppresses its dependent stages: dependency-
+    // chain condition 3 restricts drops to leaf models, but guard
+    // regardless by clearing the triggers.
+    req.childTriggers.assign(req.childTriggers.size(), 0);
+}
+
+void
+Simulator::applyDispatch(const Dispatch& d)
+{
+    Request& req = *requests_[d.requestId];
+    AcceleratorState& acc = accels_[d.accel];
+    const uint32_t slices =
+        d.slices == 0 ? acc.config->numSlices : d.slices;
+
+    assert(!req.inFlight && !req.finished());
+    assert(req.arrivalUs <= nowUs_ + 1e-9);
+    assert(headOfTask(req.task) == &req && "per-task FIFO order");
+    assert(d.numLayers >= 1 && d.numLayers <= req.remainingLayers());
+    assert(slices >= 1 && slices <= acc.freeSlices);
+
+    Job job;
+    job.requestId = req.id;
+    job.layerBegin = req.nextLayer;
+    job.layerEnd = req.nextLayer + d.numLayers;
+    job.accel = d.accel;
+    job.slices = slices;
+    job.startUs = nowUs_;
+
+    double latency_us = 0.0;
+    double energy_mj = 0.0;
+    for (size_t i = job.layerBegin; i < job.layerEnd; ++i) {
+        const auto& c = costs_.cost(req.path[i], size_t(d.accel), slices);
+        latency_us += c.latencyUs;
+        energy_mj += c.energyMj;
+    }
+
+    // Context switch: flush the resident activations of the previous
+    // request, fetch this request's live activations (Section 3.4).
+    const SwitchTraffic cs = switchTraffic(acc, req);
+    if (cs.any()) {
+        const double cs_energy =
+            cost::contextSwitchEnergyMj(cs.flushBytes, cs.fetchBytes);
+        energy_mj += cs_energy;
+        latency_us += cost::contextSwitchLatencyUs(cs.total(),
+                                                   *acc.config, slices);
+        stats_.contextSwitches += 1;
+        stats_.contextSwitchEnergyMj += cs_energy;
+    }
+
+    job.endUs = nowUs_ + latency_us;
+    req.inFlight = true;
+    req.energyMj += energy_mj;
+    stats_.tasks[req.task].energyMj += energy_mj;
+
+    acc.freeSlices -= slices;
+    acc.runningJobs += 1;
+    acc.lastTask = req.task;
+    acc.busyUntilUs = std::max(acc.busyUntilUs, job.endUs);
+    acc.residentRequestId = req.id;
+
+    completions_.push(JobEvent{job.endUs, job});
+}
+
+void
+Simulator::buildContext()
+{
+    ctx_.nowUs = nowUs_;
+    ctx_.windowUs = config_.windowUs;
+    ctx_.system = &system_;
+    ctx_.costs = &costs_;
+    ctx_.scenario = &scenario_;
+    ctx_.accels = &accels_;
+    ctx_.stats = &stats_;
+    ctx_.ready.clear();
+    ctx_.live.clear();
+    for (workload::TaskId t = 0; t < workload::TaskId(taskQueues_.size());
+         ++t) {
+        Request* head = headOfTask(t);
+        if (head && !head->inFlight && head->arrivalUs <= nowUs_ + 1e-9)
+            ctx_.ready.push_back(head);
+        for (const int id : taskQueues_[t]) {
+            const Request* r = requests_[id].get();
+            if (!r->finished() && r->arrivalUs <= nowUs_ + 1e-9)
+                ctx_.live.push_back(r);
+        }
+    }
+}
+
+bool
+Simulator::applyPlan(const Plan& plan)
+{
+    bool progress = false;
+    for (const auto& sw : plan.switches) {
+        applySwitch(sw);
+        progress = true;
+    }
+    for (const auto& dr : plan.drops) {
+        applyDrop(dr);
+        progress = true;
+    }
+    for (const auto& d : plan.dispatches) {
+        applyDispatch(d);
+        progress = true;
+    }
+    return progress;
+}
+
+void
+Simulator::invokeScheduler(Scheduler& sched)
+{
+    for (int round = 0; round < kMaxPlanRounds; ++round) {
+        buildContext();
+        Plan plan = sched.plan(ctx_);
+        stats_.schedulerInvocations += 1;
+        if (plan.wakeUpUs > nowUs_)
+            wakeups_.push(plan.wakeUpUs);
+        if (!applyPlan(plan))
+            return;
+    }
+    assert(false && "scheduler failed to converge");
+}
+
+RunStats
+Simulator::run(Scheduler& sched)
+{
+    // Reset per-run state.
+    requests_.clear();
+    taskQueues_.assign(scenario_.tasks.size(), {});
+    accels_.clear();
+    for (const auto& cfg : system_.accelerators) {
+        AcceleratorState st;
+        st.config = &cfg;
+        st.freeSlices = cfg.numSlices;
+        accels_.push_back(st);
+    }
+    completions_ = {};
+    wakeups_ = {};
+    nowUs_ = 0.0;
+    stats_ = RunStats{};
+    stats_.windowUs = config_.windowUs;
+    stats_.tasks.resize(scenario_.tasks.size());
+    for (size_t t = 0; t < scenario_.tasks.size(); ++t) {
+        stats_.tasks[t].model = scenario_.tasks[t].model.name;
+        const auto& m = scenario_.tasks[t].model;
+        if (m.isSupernet())
+            stats_.tasks[t].variantStarts.assign(m.variants.size() + 1,
+                                                 0);
+    }
+
+    source_ = std::make_unique<workload::FrameSource>(scenario_,
+                                                      config_.seed);
+    auto arrivals = source_->rootFrames(config_.windowUs);
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const auto& a, const auto& b) {
+                  return a.arrivalUs < b.arrivalUs;
+              });
+
+    buildContext();
+    sched.reset(ctx_);
+
+    size_t next_arrival = 0;
+    while (true) {
+        double t = config_.windowUs;
+        if (next_arrival < arrivals.size())
+            t = std::min(t, arrivals[next_arrival].arrivalUs);
+        if (!completions_.empty())
+            t = std::min(t, completions_.top().endUs);
+        if (!wakeups_.empty())
+            t = std::min(t, wakeups_.top());
+        if (t >= config_.windowUs)
+            break;
+
+        nowUs_ = t;
+        while (!completions_.empty() &&
+               completions_.top().endUs <= nowUs_ + 1e-9) {
+            const Job job = completions_.top().job;
+            completions_.pop();
+            completeJob(job);
+        }
+        while (next_arrival < arrivals.size() &&
+               arrivals[next_arrival].arrivalUs <= nowUs_ + 1e-9) {
+            admitFrame(arrivals[next_arrival]);
+            ++next_arrival;
+        }
+        while (!wakeups_.empty() && wakeups_.top() <= nowUs_ + 1e-9)
+            wakeups_.pop();
+
+        invokeScheduler(sched);
+    }
+
+    finalizeStats();
+    return stats_;
+}
+
+void
+Simulator::finalizeStats()
+{
+    // Frames unfinished at window end with an in-window deadline are
+    // violations; Supernet variant usage is tallied over started
+    // frames; the per-frame trace is emitted in admission order.
+    for (const auto& reqp : requests_) {
+        const Request& req = *reqp;
+        const bool counted = inWindow(req.deadlineUs, config_.windowUs);
+        TaskStats& ts = stats_.tasks[req.task];
+        if (counted && !req.finished())
+            ts.violatedFrames += 1;
+        if (counted && !ts.variantStarts.empty() && req.started())
+            ts.variantStarts[size_t(req.variant)] += 1;
+        if (counted) {
+            FrameRecord fr;
+            fr.task = req.task;
+            fr.frameIdx = req.frameIdx;
+            fr.arrivalUs = req.arrivalUs;
+            fr.deadlineUs = req.deadlineUs;
+            fr.completionUs = req.completionUs;
+            fr.dropped = req.dropped;
+            fr.violated = req.dropped || !req.done ||
+                          req.completionUs > req.deadlineUs;
+            fr.variant = req.variant;
+            fr.energyMj = req.energyMj;
+            stats_.frames.push_back(fr);
+        }
+    }
+}
+
+} // namespace sim
+} // namespace dream

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Discrete-event multi-accelerator simulator.
+ *
+ * Executes a Scenario's materialised frames on a SystemConfig under a
+ * pluggable Scheduler. Layer jobs are non-preemptive; accelerators
+ * are slice-divisible so spatial-fission schedulers can co-locate
+ * jobs. Latency/energy of every job comes from the CostTable; context
+ * switches between tasks on an accelerator charge the activation
+ * flush/fetch energy and DRAM transfer latency.
+ */
+
+#ifndef DREAM_SIM_SIMULATOR_H
+#define DREAM_SIM_SIMULATOR_H
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "costmodel/cost_table.h"
+#include "hw/system.h"
+#include "sim/request.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+#include "workload/frame_source.h"
+#include "workload/scenario.h"
+
+namespace dream {
+namespace sim {
+
+/** Run parameters. */
+struct SimConfig {
+    /** Execution window Texec in microseconds (paper example: 2 s). */
+    double windowUs = 2e6;
+    /** Workload randomness seed. */
+    uint64_t seed = 1;
+};
+
+/**
+ * The simulator. One instance runs one (system, scenario) pair; call
+ * run() with different schedulers for comparisons — each run starts
+ * from a clean state and an identical materialised workload.
+ */
+class Simulator {
+public:
+    Simulator(const hw::SystemConfig& system,
+              const workload::Scenario& scenario,
+              const cost::CostTable& costs, SimConfig config = {});
+
+    /** Execute the window under @p sched and return the run stats. */
+    RunStats run(Scheduler& sched);
+
+private:
+    struct JobEvent {
+        double endUs;
+        Job job;
+
+        bool operator>(const JobEvent& o) const { return endUs > o.endUs; }
+    };
+
+    void admitFrame(const workload::FrameSpec& spec);
+    void completeJob(const Job& job);
+    void invokeScheduler(Scheduler& sched);
+    bool applyPlan(const Plan& plan);
+    void applySwitch(const VariantSwitch& sw);
+    void applyDrop(const FrameDrop& drop);
+    void applyDispatch(const Dispatch& d);
+    void buildContext();
+    void finalizeStats();
+    Request* headOfTask(workload::TaskId task);
+
+    const hw::SystemConfig& system_;
+    const workload::Scenario& scenario_;
+    const cost::CostTable& costs_;
+    SimConfig config_;
+
+    // Per-run state.
+    std::unique_ptr<workload::FrameSource> source_;
+    std::vector<std::unique_ptr<Request>> requests_;
+    std::vector<std::vector<int>> taskQueues_;  ///< FIFO req ids per task
+    std::vector<AcceleratorState> accels_;
+    std::priority_queue<JobEvent, std::vector<JobEvent>,
+                        std::greater<JobEvent>> completions_;
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<double>> wakeups_;
+    double nowUs_ = 0.0;
+    RunStats stats_;
+    SchedulerContext ctx_;
+};
+
+} // namespace sim
+} // namespace dream
+
+#endif // DREAM_SIM_SIMULATOR_H

@@ -1,0 +1,80 @@
+#include "sim/stats.h"
+
+namespace dream {
+namespace sim {
+
+double
+TaskStats::dlvRate() const
+{
+    if (totalFrames == 0)
+        return 0.0;
+    if (violatedFrames == 0) {
+        // Algorithm 2 lines 7-8: avoid zeroing UXCost when a model
+        // never violates.
+        return 1.0 / (2.0 * double(totalFrames));
+    }
+    return double(violatedFrames) / double(totalFrames);
+}
+
+double
+TaskStats::normEnergy() const
+{
+    if (worstCaseEnergyMj <= 0.0)
+        return 0.0;
+    return energyMj / worstCaseEnergyMj;
+}
+
+double
+RunStats::overallDlvRate() const
+{
+    double sum = 0.0;
+    for (const auto& t : tasks)
+        sum += t.dlvRate();
+    return sum;
+}
+
+double
+RunStats::overallNormEnergy() const
+{
+    double sum = 0.0;
+    for (const auto& t : tasks)
+        sum += t.normEnergy();
+    return sum;
+}
+
+uint64_t
+RunStats::totalFrames() const
+{
+    uint64_t sum = 0;
+    for (const auto& t : tasks)
+        sum += t.totalFrames;
+    return sum;
+}
+
+uint64_t
+RunStats::totalViolated() const
+{
+    uint64_t sum = 0;
+    for (const auto& t : tasks)
+        sum += t.violatedFrames;
+    return sum;
+}
+
+double
+RunStats::totalEnergyMj() const
+{
+    double sum = 0.0;
+    for (const auto& t : tasks)
+        sum += t.energyMj;
+    return sum;
+}
+
+double
+RunStats::violationFraction() const
+{
+    const uint64_t total = totalFrames();
+    return total == 0 ? 0.0 : double(totalViolated()) / double(total);
+}
+
+} // namespace sim
+} // namespace dream

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-task and per-run statistics collected by the simulator: frame
+ * accounting (total / completed / violated / dropped), energy actual
+ * vs worst-case, context switches and Supernet variant usage.
+ */
+
+#ifndef DREAM_SIM_STATS_H
+#define DREAM_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dream {
+namespace sim {
+
+/** Statistics for one task (one model) over a run window. */
+struct TaskStats {
+    std::string model;
+    /** Frames whose deadline fell inside the run window. */
+    uint64_t totalFrames = 0;
+    uint64_t completedFrames = 0;
+    /** Deadline-violated frames (includes drops and unfinished). */
+    uint64_t violatedFrames = 0;
+    /** Frames proactively dropped (subset of violated). */
+    uint64_t droppedFrames = 0;
+    /** Actual energy spent on this task (mJ). */
+    double energyMj = 0.0;
+    /** Worst-case energy of the frames' materialised paths (mJ). */
+    double worstCaseEnergyMj = 0.0;
+    /** Sum of completion latencies of completed frames (us). */
+    double sumLatencyUs = 0.0;
+    /** Frames started per Supernet variant (index 0 == Original). */
+    std::vector<uint64_t> variantStarts;
+
+    /** Deadline violation rate with the Algorithm 2 zero floor. */
+    double dlvRate() const;
+    /** Energy normalised to the worst case (Algorithm 2 line 5). */
+    double normEnergy() const;
+};
+
+/** Outcome record of one frame (for traces and post-analysis). */
+struct FrameRecord {
+    int task = 0;
+    int frameIdx = 0;
+    double arrivalUs = 0.0;
+    double deadlineUs = 0.0;
+    /** Completion time; negative if never completed. */
+    double completionUs = -1.0;
+    bool dropped = false;
+    bool violated = false;
+    int variant = 0;
+    double energyMj = 0.0;
+};
+
+/** Statistics for one complete simulation run. */
+struct RunStats {
+    std::vector<TaskStats> tasks;
+    double windowUs = 0.0;
+    /** Per-frame outcomes in admission order (in-window frames). */
+    std::vector<FrameRecord> frames;
+    /** Total context switches charged across accelerators. */
+    uint64_t contextSwitches = 0;
+    /** Energy spent on context switches (mJ), included in tasks'. */
+    double contextSwitchEnergyMj = 0.0;
+    /** Scheduler invocations (plan() calls). */
+    uint64_t schedulerInvocations = 0;
+
+    /** Sum of per-task deadline-violation rates (Algorithm 2 L10). */
+    double overallDlvRate() const;
+    /** Sum of per-task normalised energies (Algorithm 2 L11). */
+    double overallNormEnergy() const;
+    /** Total frames across tasks. */
+    uint64_t totalFrames() const;
+    /** Total violated frames across tasks. */
+    uint64_t totalViolated() const;
+    /** Total actual energy (mJ). */
+    double totalEnergyMj() const;
+    /** Aggregate violation fraction (violated / total). */
+    double violationFraction() const;
+};
+
+} // namespace sim
+} // namespace dream
+
+#endif // DREAM_SIM_STATS_H

@@ -1,0 +1,147 @@
+#include "workload/frame_source.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dream {
+namespace workload {
+
+namespace {
+
+/** splitmix64: cheap, well-mixed stateless hash chain. */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Stateless per-frame random stream. */
+class FrameRng {
+public:
+    FrameRng(uint64_t seed, TaskId task, int frame)
+        : state_(splitmix64(seed ^ splitmix64(uint64_t(task) << 32 |
+                                              uint64_t(uint32_t(frame)))))
+    {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        state_ = splitmix64(state_);
+        return double(state_ >> 11) * 0x1.0p-53;
+    }
+
+private:
+    uint64_t state_;
+};
+
+} // anonymous namespace
+
+FrameSource::FrameSource(const Scenario& scenario, uint64_t seed)
+    : scenario_(scenario), seed_(seed)
+{
+}
+
+std::vector<models::Layer>
+FrameSource::materialisePath(TaskId task, int frame_idx) const
+{
+    const models::Model& model = scenario_.tasks[task].model;
+    FrameRng rng(seed_ ^ 0xa5a5a5a5ull, task, frame_idx);
+
+    // Decide skip gates (SkipNet-style blocks).
+    std::vector<char> skip(model.layers.size(), 0);
+    for (const auto& blk : model.skipBlocks) {
+        if (rng.uniform() < blk.skipProb) {
+            for (size_t i = blk.begin; i < blk.end; ++i)
+                skip[i] = 1;
+        }
+    }
+
+    // Decide the earliest firing early exit (if any).
+    size_t cut = model.layers.size();
+    for (const auto& exit : model.earlyExits) {
+        if (rng.uniform() < exit.exitProb) {
+            cut = std::min(cut, exit.afterLayer + 1);
+            break;
+        }
+    }
+
+    std::vector<models::Layer> path;
+    path.reserve(cut);
+    for (size_t i = 0; i < cut; ++i) {
+        if (!skip[i])
+            path.push_back(model.layers[i]);
+    }
+    assert(!path.empty());
+    return path;
+}
+
+FrameSpec
+FrameSource::makeFrame(TaskId task, int frame_idx, double arrival_us,
+                       double deadline_us) const
+{
+    FrameSpec f;
+    f.task = task;
+    f.frameIdx = frame_idx;
+    f.arrivalUs = arrival_us;
+    f.deadlineUs = deadline_us;
+    f.path = materialisePath(task, frame_idx);
+
+    // Cascade gate per dependent task, from this (parent) frame's RNG.
+    const auto children = scenario_.childrenOf(task);
+    FrameRng rng(seed_ ^ 0x5a5a5a5aull, task, frame_idx);
+    f.childTriggers.reserve(children.size());
+    for (const TaskId c : children) {
+        f.childTriggers.push_back(
+            rng.uniform() < scenario_.tasks[c].triggerProb ? 1 : 0);
+    }
+    return f;
+}
+
+std::vector<FrameSpec>
+FrameSource::rootFrames(double window_us) const
+{
+    std::vector<FrameSpec> frames;
+    // Tolerance for accumulated floating error at window boundaries
+    // (units: us; one nanosecond).
+    constexpr double eps = 1e-3;
+    for (TaskId t = 0; t < TaskId(scenario_.tasks.size()); ++t) {
+        const TaskSpec& spec = scenario_.tasks[t];
+        if (spec.dependsOn != kNoParent)
+            continue;
+        const double period = spec.periodUs();
+        const double until = std::min(window_us, spec.endUs);
+        for (int idx = 0;; ++idx) {
+            // Multiplicative arrival avoids drift over long windows.
+            const double at = spec.startUs + double(idx) * period;
+            if (at >= until - eps)
+                break;
+            frames.push_back(makeFrame(t, idx, at, at + period));
+        }
+    }
+    return frames;
+}
+
+FrameSpec
+FrameSource::childFrame(TaskId child, int frame_idx,
+                        double parent_arrival_us,
+                        double parent_completion_us) const
+{
+    (void)parent_arrival_us;
+    const TaskSpec& spec = scenario_.tasks[child];
+    assert(spec.dependsOn != kNoParent);
+    // Dependent stages carry their own FPS-derived deadline from the
+    // moment they are released (Table 3 assigns every model its own
+    // rate), so a slow parent does not make the child structurally
+    // infeasible.
+    FrameSpec f = makeFrame(child, frame_idx, parent_completion_us,
+                            parent_completion_us + spec.periodUs());
+    return f;
+}
+
+} // namespace workload
+} // namespace dream

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Frame materialisation: turns a Scenario into the per-frame inference
+ * requests the simulator executes, resolving all workload dynamicity
+ * (skip gates, early exits, cascade triggers) with a deterministic
+ * per-frame RNG so every scheduler sees the identical workload.
+ */
+
+#ifndef DREAM_WORKLOAD_FRAME_SOURCE_H
+#define DREAM_WORKLOAD_FRAME_SOURCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace dream {
+namespace workload {
+
+/** One materialised inference request (a frame of a task). */
+struct FrameSpec {
+    TaskId task = 0;
+    int frameIdx = 0;
+    double arrivalUs = 0.0;
+    double deadlineUs = 0.0;
+    /**
+     * Materialised execution path: the model's layers after applying
+     * skip gates and early exits. Supernet models start on their
+     * default (Original) path; the scheduler may switch variants.
+     */
+    std::vector<models::Layer> path;
+    /**
+     * Cascade-gate outcomes for this frame's dependent tasks, aligned
+     * with Scenario::childrenOf(task). Sampled from the parent frame's
+     * RNG, so they are fixed per frame across schedulers.
+     */
+    std::vector<char> childTriggers;
+};
+
+/**
+ * Deterministic frame generator for one run.
+ *
+ * Per-frame randomness derives from hash(seed, task, frameIdx), never
+ * from call order, so different schedulers (which complete parents at
+ * different times) still face the same materialised workload.
+ */
+class FrameSource {
+public:
+    FrameSource(const Scenario& scenario, uint64_t seed);
+
+    /** The scenario being generated. */
+    const Scenario& scenario() const { return scenario_; }
+    /** The run seed. */
+    uint64_t seed() const { return seed_; }
+
+    /**
+     * All root-task frames whose arrival falls inside
+     * [task.startUs, min(task.endUs, window_us)).
+     */
+    std::vector<FrameSpec> rootFrames(double window_us) const;
+
+    /**
+     * Materialise the dependent frame of @p child for pipeline frame
+     * @p frame_idx, released when the parent completed at
+     * @p parent_completion_us. The deadline is the child's own
+     * FPS-derived period from its release.
+     */
+    FrameSpec childFrame(TaskId child, int frame_idx,
+                         double parent_arrival_us,
+                         double parent_completion_us) const;
+
+    /**
+     * Materialise the execution path of @p task for frame
+     * @p frame_idx (exposed for testing).
+     */
+    std::vector<models::Layer> materialisePath(TaskId task,
+                                               int frame_idx) const;
+
+private:
+    FrameSpec makeFrame(TaskId task, int frame_idx, double arrival_us,
+                        double deadline_us) const;
+
+    Scenario scenario_;
+    uint64_t seed_;
+};
+
+} // namespace workload
+} // namespace dream
+
+#endif // DREAM_WORKLOAD_FRAME_SOURCE_H

@@ -1,0 +1,132 @@
+/** @file Tests for the adaptivity engine (offline search + tuner). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptivity.h"
+#include "test_util.h"
+
+namespace dream {
+namespace {
+
+TEST(ParamSearch, ConvergesOnConvexBowl)
+{
+    // Minimum at (0.7, 1.3).
+    const auto bowl = [](double a, double b) {
+        return (a - 0.7) * (a - 0.7) + (b - 1.3) * (b - 1.3);
+    };
+    core::ParamSearch search(0.5, 0.01, 0.0, 2.0);
+    const auto r = search.optimize(bowl, 1.9, 0.1);
+    EXPECT_NEAR(r.alpha, 0.7, 0.15);
+    EXPECT_NEAR(r.beta, 1.3, 0.15);
+    EXPECT_LT(r.cost, 0.05);
+    EXPECT_GT(r.evaluations, 10);
+    EXPECT_FALSE(r.trajectory.empty());
+}
+
+TEST(ParamSearch, RespectsBounds)
+{
+    const auto edge = [](double a, double b) { return -(a + b); };
+    core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
+    const auto r = search.optimize(edge, 1.0, 1.0);
+    EXPECT_LE(r.alpha, 2.0);
+    EXPECT_LE(r.beta, 2.0);
+    EXPECT_GE(r.alpha, 0.0);
+    EXPECT_GE(r.beta, 0.0);
+    // The optimum of -(a+b) on [0,2]^2 is the (2,2) corner.
+    EXPECT_NEAR(r.alpha, 2.0, 0.26);
+    EXPECT_NEAR(r.beta, 2.0, 0.26);
+}
+
+TEST(ParamSearch, TrajectoryMonotoneSteps)
+{
+    const auto bowl = [](double a, double b) {
+        return (a - 1.0) * (a - 1.0) + (b - 1.0) * (b - 1.0);
+    };
+    core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
+    const auto r = search.optimize(bowl, 0.0, 2.0);
+    // Accepted cost never increases along the trajectory.
+    for (size_t i = 1; i < r.trajectory.size(); ++i)
+        EXPECT_LE(r.trajectory[i].cost, r.trajectory[i - 1].cost + 1e-12);
+    // Steps are numbered consecutively from zero.
+    for (size_t i = 0; i < r.trajectory.size(); ++i)
+        EXPECT_EQ(r.trajectory[i].step, int(i));
+}
+
+TEST(ParamSearch, RadiusShrinksBelowThreshold)
+{
+    int evals = 0;
+    const auto counting = [&evals](double, double) {
+        ++evals;
+        return 1.0;
+    };
+    core::ParamSearch search(0.4, 0.1, 0.0, 2.0);
+    const auto r = search.optimize(counting, 1.0, 1.0);
+    // Radii 0.4, 0.2, 0.1 -> 3 refinement steps + initial point.
+    EXPECT_EQ(r.trajectory.size(), 4u);
+    EXPECT_EQ(evals, r.evaluations);
+}
+
+TEST(WindowedObjective, UsesDeltasBetweenSnapshots)
+{
+    sim::RunStats begin, end;
+    begin.tasks.resize(1);
+    end.tasks.resize(1);
+    begin.tasks[0].totalFrames = 50;
+    begin.tasks[0].violatedFrames = 5;
+    begin.tasks[0].energyMj = 10.0;
+    begin.tasks[0].worstCaseEnergyMj = 20.0;
+    end.tasks[0].totalFrames = 100;
+    end.tasks[0].violatedFrames = 15;
+    end.tasks[0].energyMj = 30.0;
+    end.tasks[0].worstCaseEnergyMj = 60.0;
+    // Window: 50 frames, 10 violations, 20/40 energy.
+    const double v = core::windowedObjective(
+        metrics::Objective::UxCost, begin, end);
+    EXPECT_DOUBLE_EQ(v, (10.0 / 50.0) * (20.0 / 40.0));
+}
+
+TEST(OnlineTuner, DisabledWhenConfigSaysSo)
+{
+    auto cfg = core::DreamConfig::fixedParams(1.0, 1.0);
+    core::OnlineTuner tuner(cfg);
+    core::MapScoreEngine engine(1.0, 1.0);
+    test::ContextBuilder cb;
+    cb.addTask(test::toyModel());
+    EXPECT_LT(tuner.update(cb.context(0.0), engine), 0.0);
+    EXPECT_FALSE(tuner.tuning());
+}
+
+TEST(OnlineTuner, RunsTrialRoundsAndConverges)
+{
+    auto cfg = core::DreamConfig::mapScore();
+    cfg.trialWindowUs = 100.0;
+    cfg.initialRadius = 0.2;
+    cfg.radiusThreshold = 0.15; // a single refinement round
+    core::OnlineTuner tuner(cfg);
+    core::MapScoreEngine engine(1.0, 1.0);
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel());
+    cb.addRequest(t, 0.0, 1e6);
+
+    double now = 0.0;
+    double wake = tuner.update(cb.context(now), engine);
+    EXPECT_GT(wake, now);
+    EXPECT_TRUE(tuner.tuning());
+    // Drive the trial state machine to completion.
+    for (int i = 0; i < 50 && tuner.tuning(); ++i) {
+        now = wake > now ? wake : now + 100.0;
+        wake = tuner.update(cb.context(now), engine);
+    }
+    EXPECT_FALSE(tuner.tuning());
+    EXPECT_GE(tuner.completedSteps(), 1);
+    // Parameters remain within the legal range.
+    EXPECT_GE(engine.alpha(), cfg.paramMin);
+    EXPECT_LE(engine.alpha(), cfg.paramMax);
+    EXPECT_GE(engine.beta(), cfg.paramMin);
+    EXPECT_LE(engine.beta(), cfg.paramMax);
+}
+
+} // namespace
+} // namespace dream

@@ -1,0 +1,84 @@
+/** @file Unit tests for the context-switch traffic model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/context_switch.h"
+#include "test_util.h"
+
+namespace dream {
+namespace {
+
+sim::Request
+midModelRequest(int id, const models::Model& m, size_t next_layer)
+{
+    sim::Request r;
+    r.id = id;
+    r.path = m.layers;
+    r.nextLayer = next_layer;
+    return r;
+}
+
+TEST(ContextSwitch, FreshStartOnCleanAcceleratorIsFree)
+{
+    sim::AcceleratorState acc;
+    const auto m = test::toyModel();
+    const auto req = midModelRequest(1, m, 0);
+    const auto t = sim::switchTraffic(acc, req);
+    EXPECT_EQ(t.flushBytes, 0ull);
+    EXPECT_EQ(t.fetchBytes, 0ull);
+    EXPECT_FALSE(t.any());
+}
+
+TEST(ContextSwitch, MidModelMigrationFetchesNextInput)
+{
+    sim::AcceleratorState acc; // nothing resident
+    const auto m = test::toyModel();
+    const auto req = midModelRequest(1, m, 1);
+    const auto t = sim::switchTraffic(acc, req);
+    EXPECT_EQ(t.flushBytes, 0ull);
+    EXPECT_EQ(t.fetchBytes, m.layers[1].inputBytes());
+}
+
+TEST(ContextSwitch, ResidentRequestPaysNothing)
+{
+    sim::AcceleratorState acc;
+    acc.residentRequestId = 1;
+    acc.residentBytes = 12345;
+    const auto m = test::toyModel();
+    const auto req = midModelRequest(1, m, 1);
+    EXPECT_FALSE(sim::switchTraffic(acc, req).any());
+}
+
+TEST(ContextSwitch, DisplacingAnotherRequestFlushesItsState)
+{
+    sim::AcceleratorState acc;
+    acc.residentRequestId = 7;
+    acc.residentBytes = 4096;
+    const auto m = test::toyModel();
+    const auto fresh = midModelRequest(1, m, 0);
+    const auto t = sim::switchTraffic(acc, fresh);
+    EXPECT_EQ(t.flushBytes, 4096ull);
+    EXPECT_EQ(t.fetchBytes, 0ull);
+
+    const auto mid = midModelRequest(1, m, 2);
+    const auto t2 = sim::switchTraffic(acc, mid);
+    EXPECT_EQ(t2.flushBytes, 4096ull);
+    EXPECT_EQ(t2.fetchBytes, m.layers[2].inputBytes());
+    EXPECT_EQ(t2.total(), t2.flushBytes + t2.fetchBytes);
+}
+
+TEST(ContextSwitch, RepeatLayersChargePerStepLiveSet)
+{
+    sim::AcceleratorState acc;
+    models::Model m;
+    m.name = "rnn";
+    m.layers.push_back(models::fc("in", 64, 64));
+    m.layers.push_back(models::rnn("lstm", 1024, 2048, 16));
+    const auto req = midModelRequest(1, m, 1);
+    const auto t = sim::switchTraffic(acc, req);
+    // Only one step of the recurrent input is live, not all 16.
+    EXPECT_EQ(t.fetchBytes, m.layers[1].inputBytes() / 16);
+}
+
+} // namespace
+} // namespace dream

@@ -1,0 +1,166 @@
+/** @file Tests for the analytical layer cost model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "costmodel/layer_cost.h"
+#include "hw/system.h"
+#include "models/layer.h"
+
+namespace dream {
+namespace {
+
+using namespace models;
+using cost::estimateLayer;
+
+hw::AcceleratorConfig
+accel(hw::Dataflow df, uint32_t pes = 2048)
+{
+    hw::AcceleratorConfig acc;
+    acc.name = "test";
+    acc.numPes = pes;
+    acc.dataflow = df;
+    return acc;
+}
+
+TEST(CostModel, PositiveAndFinite)
+{
+    const auto l = conv("c", 56, 56, 64, 128, 3, 1);
+    for (const auto df : {hw::Dataflow::WeightStationary,
+                          hw::Dataflow::OutputStationary}) {
+        const auto c = estimateLayer(l, accel(df));
+        EXPECT_GT(c.latencyUs, 0.0);
+        EXPECT_GT(c.energyMj, 0.0);
+        EXPECT_TRUE(std::isfinite(c.latencyUs));
+        EXPECT_TRUE(std::isfinite(c.energyMj));
+    }
+}
+
+TEST(CostModel, MorePesNotSlower)
+{
+    const auto l = conv("c", 112, 112, 32, 64, 3, 1);
+    for (const auto df : {hw::Dataflow::WeightStationary,
+                          hw::Dataflow::OutputStationary}) {
+        const auto small = estimateLayer(l, accel(df, 1024));
+        const auto big = estimateLayer(l, accel(df, 4096));
+        EXPECT_LE(big.latencyUs, small.latencyUs * 1.001);
+    }
+}
+
+TEST(CostModel, FewerSlicesSlower)
+{
+    const auto l = conv("c", 56, 56, 64, 128, 3, 1);
+    const auto acc = accel(hw::Dataflow::WeightStationary);
+    const auto full = estimateLayer(l, acc, 4);
+    const auto half = estimateLayer(l, acc, 2);
+    const auto quarter = estimateLayer(l, acc, 1);
+    EXPECT_GT(half.latencyUs, full.latencyUs);
+    EXPECT_GT(quarter.latencyUs, half.latencyUs);
+}
+
+TEST(CostModel, BiggerLayerCostsMore)
+{
+    const auto small = conv("s", 28, 28, 32, 32, 3, 1);
+    const auto big = conv("b", 56, 56, 64, 128, 3, 1);
+    const auto acc = accel(hw::Dataflow::WeightStationary);
+    EXPECT_GT(estimateLayer(big, acc).latencyUs,
+              estimateLayer(small, acc).latencyUs);
+    EXPECT_GT(estimateLayer(big, acc).energyMj,
+              estimateLayer(small, acc).energyMj);
+}
+
+TEST(CostModel, DepthwisePrefersOs)
+{
+    // NVDLA-style WS starves its input-channel lanes on depthwise.
+    const auto dw = dwConv("dw", 56, 56, 144, 3, 1);
+    const auto ws = estimateLayer(dw, accel(
+        hw::Dataflow::WeightStationary));
+    const auto os = estimateLayer(dw, accel(
+        hw::Dataflow::OutputStationary));
+    EXPECT_LT(os.latencyUs, ws.latencyUs);
+}
+
+TEST(CostModel, DeepLateConvPrefersWs)
+{
+    // 7x7 spatial map with deep channels: OS runs out of output
+    // positions; WS keeps its weight lanes busy.
+    const auto late = conv("late", 7, 7, 512, 512, 3, 1);
+    const auto ws = estimateLayer(late, accel(
+        hw::Dataflow::WeightStationary));
+    const auto os = estimateLayer(late, accel(
+        hw::Dataflow::OutputStationary));
+    EXPECT_LT(ws.latencyUs, os.latencyUs);
+}
+
+TEST(CostModel, FcLikeLayersPreferWs)
+{
+    const auto l = rnn("lstm", 2048, 4096, 24);
+    const auto ws = estimateLayer(l, accel(
+        hw::Dataflow::WeightStationary));
+    const auto os = estimateLayer(l, accel(
+        hw::Dataflow::OutputStationary));
+    EXPECT_LT(ws.latencyUs, os.latencyUs);
+}
+
+TEST(CostModel, SpatialUtilisationBounds)
+{
+    const auto layers = {conv("a", 112, 112, 3, 32, 3, 2),
+                         dwConv("b", 56, 56, 128, 3, 1),
+                         conv("c", 7, 7, 512, 512, 3, 1)};
+    for (const auto& l : layers) {
+        for (const auto df : {hw::Dataflow::WeightStationary,
+                              hw::Dataflow::OutputStationary}) {
+            const double u = cost::spatialUtilisation(l, df, 2048);
+            EXPECT_GT(u, 0.0) << l.name;
+            EXPECT_LE(u, 1.0) << l.name;
+        }
+    }
+}
+
+TEST(CostModel, RnnWeightRefetchKicksInAboveSram)
+{
+    // 8 MiB SRAM: an 8.4 MB LSTM layer refetches weights per step,
+    // a 2 MB one does not.
+    const uint64_t sram = 8ull * 1024 * 1024;
+    const auto big = rnn("big", 2048, 4096, 24);   // 8.4 MB weights
+    const auto small = rnn("small", 1024, 2048, 24); // 2.1 MB
+    const double big_traffic = cost::dramTrafficBytes(
+        big, hw::Dataflow::WeightStationary, sram);
+    const double small_traffic = cost::dramTrafficBytes(
+        small, hw::Dataflow::WeightStationary, sram);
+    EXPECT_GT(big_traffic, double(big.weightBytes()) * 20.0);
+    EXPECT_LT(small_traffic, double(small.weightBytes()) * 3.0);
+}
+
+TEST(CostModel, ContextSwitchEnergyScalesWithBytes)
+{
+    const double e1 = cost::contextSwitchEnergyMj(1 << 20, 1 << 20);
+    const double e2 = cost::contextSwitchEnergyMj(2 << 20, 2 << 20);
+    EXPECT_GT(e1, 0.0);
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+}
+
+TEST(CostModel, ContextSwitchLatencyScalesInverselyWithSlices)
+{
+    const auto acc = accel(hw::Dataflow::WeightStationary);
+    const double full = cost::contextSwitchLatencyUs(1 << 20, acc, 4);
+    const double quarter =
+        cost::contextSwitchLatencyUs(1 << 20, acc, 1);
+    EXPECT_NEAR(quarter, 4.0 * full, 1e-9);
+}
+
+TEST(CostModel, EnergyIncludesStaticComponent)
+{
+    // A memory-bound layer has long residency; doubling PEs leaves
+    // DRAM time unchanged but doubles leakage, so energy rises.
+    const auto l = rnn("mem", 2048, 8192, 32);
+    const auto small = estimateLayer(l, accel(
+        hw::Dataflow::WeightStationary, 2048));
+    const auto big = estimateLayer(l, accel(
+        hw::Dataflow::WeightStationary, 4096));
+    EXPECT_GT(big.energyMj, small.energyMj);
+}
+
+} // namespace
+} // namespace dream

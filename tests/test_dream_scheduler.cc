@@ -1,0 +1,140 @@
+/** @file Tests for the composed DREAM scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "core/dream_scheduler.h"
+#include "runner/experiment.h"
+#include "test_util.h"
+
+namespace dream {
+namespace {
+
+TEST(DreamScheduler, NamesFollowTable4)
+{
+    EXPECT_EQ(core::DreamScheduler(core::DreamConfig::mapScore())
+                  .name(),
+              "DREAM-MapScore");
+    EXPECT_EQ(core::DreamScheduler(core::DreamConfig::smartDropConfig())
+                  .name(),
+              "DREAM-SmartDrop");
+    EXPECT_EQ(core::DreamScheduler(core::DreamConfig::full()).name(),
+              "DREAM-Full");
+    EXPECT_EQ(core::DreamScheduler(core::DreamConfig::fixedParams())
+                  .name(),
+              "DREAM-Fixed");
+    auto cfg = core::DreamConfig::full();
+    cfg.objective = metrics::Objective::EnergyOnly;
+    EXPECT_EQ(core::DreamScheduler(cfg).name(), "DREAM-Full[Energy]");
+}
+
+TEST(DreamScheduler, DispatchesOneLayerOnIdleAccelerator)
+{
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel());
+    auto* req = cb.addRequest(t, 0.0, 1e5);
+    core::DreamScheduler sched(core::DreamConfig::fixedParams());
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    const auto plan = sched.plan(ctx);
+    ASSERT_EQ(plan.dispatches.size(), 1u);
+    EXPECT_EQ(plan.dispatches[0].requestId, req->id);
+    EXPECT_EQ(plan.dispatches[0].numLayers, 1u);
+    EXPECT_EQ(plan.dispatches[0].slices, 0u);
+}
+
+TEST(DreamScheduler, EmptyPlanWhenNothingReady)
+{
+    test::ContextBuilder cb;
+    cb.addTask(test::toyModel());
+    core::DreamScheduler sched(core::DreamConfig::fixedParams());
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    EXPECT_TRUE(sched.plan(ctx).dispatches.empty());
+}
+
+TEST(DreamScheduler, PicksPreferredAcceleratorWhenFree)
+{
+    test::ContextBuilder cb;
+    models::Model m;
+    m.name = "rnnish";
+    m.layers.push_back(models::rnn("lstm", 1024, 2048, 16));
+    const auto t = cb.addTask(std::move(m));
+    cb.addRequest(t, 0.0, 1e6);
+    core::DreamScheduler sched(core::DreamConfig::fixedParams());
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    const auto plan = sched.plan(ctx);
+    ASSERT_EQ(plan.dispatches.size(), 1u);
+    // Accelerator 0 is WS: the right home for an RNN layer.
+    EXPECT_EQ(plan.dispatches[0].accel, 0);
+}
+
+TEST(DreamScheduler, SettleRuleWaitsForMatchedAccelerator)
+{
+    test::ContextBuilder cb;
+    models::Model m;
+    m.name = "rnnish";
+    // SRAM-resident weights: compute-bound, so the WS/OS latency gap
+    // is large and the settle rule applies.
+    m.layers.push_back(models::rnn("lstm", 1024, 2048, 16));
+    const auto t = cb.addTask(std::move(m));
+    cb.addRequest(t, 0.0, 1e6); // plenty of slack
+    // WS (the preferred accelerator) briefly busy; OS idle.
+    cb.accels()[0].runningJobs = 1;
+    cb.accels()[0].freeSlices = 0;
+    cb.accels()[0].busyUntilUs = 500.0;
+    core::DreamScheduler sched(core::DreamConfig::fixedParams());
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    const auto plan = sched.plan(ctx);
+    // Waiting 500 us for WS beats settling for the mismatched OS.
+    EXPECT_TRUE(plan.dispatches.empty());
+}
+
+TEST(DreamScheduler, SettlesWhenDeadlineDemands)
+{
+    test::ContextBuilder cb;
+    models::Model m;
+    m.name = "rnnish";
+    m.layers.push_back(models::rnn("lstm", 1024, 2048, 16));
+    const auto t = cb.addTask(std::move(m));
+    auto* req = cb.addRequest(t, 0.0, 1e6);
+    cb.accels()[0].runningJobs = 1;
+    cb.accels()[0].freeSlices = 0;
+    cb.accels()[0].busyUntilUs = 9e5; // WS busy for a long time
+    // Make the deadline too tight to wait for WS.
+    req->deadlineUs = 2e4;
+    core::DreamScheduler sched(core::DreamConfig::fixedParams());
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    const auto plan = sched.plan(ctx);
+    ASSERT_EQ(plan.dispatches.size(), 1u);
+    EXPECT_EQ(plan.dispatches[0].accel, 1); // settle for OS
+}
+
+TEST(DreamScheduler, ResetRestoresConfiguredParams)
+{
+    auto cfg = core::DreamConfig::fixedParams(0.3, 1.7);
+    core::DreamScheduler sched(cfg);
+    test::ContextBuilder cb;
+    cb.addTask(test::toyModel());
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    EXPECT_DOUBLE_EQ(sched.mapScore().alpha(), 0.3);
+    EXPECT_DOUBLE_EQ(sched.mapScore().beta(), 1.7);
+}
+
+TEST(DreamScheduler, FullConfigRunsEndToEnd)
+{
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Os2Ws);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::VrGaming);
+    core::DreamScheduler sched(core::DreamConfig::full());
+    const auto r = runner::runOnce(system, scenario, sched, 1e6, 3);
+    EXPECT_GT(r.stats.totalFrames(), 0u);
+    // The online tuner must have been exercised.
+    EXPECT_GE(sched.tuner().completedSteps(), 1);
+}
+
+} // namespace
+} // namespace dream

@@ -1,0 +1,74 @@
+/** @file Tests for the experiment runner and table utilities. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+#include "runner/table.h"
+
+namespace dream {
+namespace {
+
+TEST(Runner, FactoryProducesAllSchedulers)
+{
+    const runner::SchedKind kinds[] = {
+        runner::SchedKind::Fcfs,          runner::SchedKind::StaticFcfs,
+        runner::SchedKind::Veltair,       runner::SchedKind::Planaria,
+        runner::SchedKind::DreamFixed,    runner::SchedKind::DreamMapScore,
+        runner::SchedKind::DreamSmartDrop, runner::SchedKind::DreamFull};
+    for (const auto k : kinds) {
+        auto s = runner::makeScheduler(k);
+        ASSERT_NE(s, nullptr);
+        EXPECT_FALSE(s->name().empty());
+    }
+}
+
+TEST(Runner, EvaluationSetMatchesPaper)
+{
+    const auto set = runner::evaluationSchedulers();
+    ASSERT_EQ(set.size(), 6u);
+    EXPECT_EQ(set.front(), runner::SchedKind::Fcfs);
+    EXPECT_EQ(set.back(), runner::SchedKind::DreamFull);
+}
+
+TEST(Runner, RunSeedsAveragesOverSeeds)
+{
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys8k2Ws);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::DroneOutdoor);
+    auto sched = runner::makeScheduler(runner::SchedKind::Fcfs);
+    const auto r1 = runner::runOnce(system, scenario, *sched, 5e5, 1);
+    const auto r2 = runner::runOnce(system, scenario, *sched, 5e5, 2);
+    const auto agg =
+        runner::runSeeds(system, scenario, *sched, 5e5, {1, 2});
+    EXPECT_NEAR(agg.uxCost, (r1.uxCost + r2.uxCost) / 2.0, 1e-9);
+}
+
+TEST(Table, AlignsAndRenders)
+{
+    runner::Table t({"A", "LongHeader"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-cell", "2"});
+    const auto s = t.str();
+    EXPECT_NE(s.find("LongHeader"), std::string::npos);
+    EXPECT_NE(s.find("longer-cell"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(runner::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(runner::fmtPct(0.1234, 1), "12.3%");
+}
+
+TEST(Table, Geomean)
+{
+    EXPECT_DOUBLE_EQ(runner::geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(runner::geomean({}), 0.0);
+    EXPECT_NEAR(runner::geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace dream

@@ -1,0 +1,185 @@
+/** @file Unit tests for the baseline schedulers. */
+
+#include <gtest/gtest.h>
+
+#include "sched/fcfs.h"
+#include "sched/planaria.h"
+#include "sched/static_fcfs.h"
+#include "sched/traits.h"
+#include "sched/veltair.h"
+#include "test_util.h"
+
+namespace dream {
+namespace {
+
+TEST(Fcfs, ServesOldestFirstOnIdleAccelerators)
+{
+    test::ContextBuilder cb;
+    const auto t1 = cb.addTask(test::toyModel("a"));
+    const auto t2 = cb.addTask(test::toyModel("b"));
+    auto* old_req = cb.addRequest(t1, 100.0, 1e6);
+    auto* new_req = cb.addRequest(t2, 200.0, 1e6);
+    sched::FcfsScheduler fcfs;
+    const auto plan = fcfs.plan(cb.context(300.0));
+    ASSERT_EQ(plan.dispatches.size(), 2u);
+    EXPECT_EQ(plan.dispatches[0].requestId, old_req->id);
+    EXPECT_EQ(plan.dispatches[1].requestId, new_req->id);
+    // Whole-model granularity.
+    EXPECT_EQ(plan.dispatches[0].numLayers,
+              old_req->remainingLayers());
+    EXPECT_EQ(plan.dispatches[0].slices, 0u);
+}
+
+TEST(Fcfs, SkipsBusyAccelerators)
+{
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel());
+    cb.addRequest(t, 0.0, 1e6);
+    cb.accels()[0].runningJobs = 1; // busy
+    sched::FcfsScheduler fcfs;
+    const auto plan = fcfs.plan(cb.context(0.0));
+    ASSERT_EQ(plan.dispatches.size(), 1u);
+    EXPECT_EQ(plan.dispatches[0].accel, 1);
+}
+
+TEST(Veltair, BlockLengthRespectsThreshold)
+{
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel());
+    auto* req = cb.addRequest(t, 0.0, 1e6);
+    sched::VeltairScheduler veltair;
+    auto& ctx = cb.context(0.0);
+    // A tiny threshold yields single-layer blocks; a huge one takes
+    // the whole model.
+    EXPECT_EQ(veltair.blockLength(ctx, *req, 0, 1e-6), 1u);
+    EXPECT_EQ(veltair.blockLength(ctx, *req, 0, 1e12),
+              req->path.size());
+}
+
+TEST(Veltair, EdfOrdering)
+{
+    test::ContextBuilder cb;
+    const auto t1 = cb.addTask(test::toyModel("a"));
+    const auto t2 = cb.addTask(test::toyModel("b"));
+    cb.addRequest(t1, 0.0, 5e5);
+    auto* tight = cb.addRequest(t2, 100.0, 1e5);
+    sched::VeltairScheduler veltair;
+    const auto plan = veltair.plan(cb.context(200.0));
+    ASSERT_GE(plan.dispatches.size(), 1u);
+    EXPECT_EQ(plan.dispatches[0].requestId, tight->id);
+}
+
+TEST(Planaria, PredictionScalesWithSlices)
+{
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel());
+    auto* req = cb.addRequest(t, 0.0, 1e6);
+    auto& ctx = cb.context(0.0);
+    const double full =
+        sched::PlanariaScheduler::remainingLatencyUs(ctx, *req, 0, 4);
+    const double half =
+        sched::PlanariaScheduler::remainingLatencyUs(ctx, *req, 0, 2);
+    EXPECT_NEAR(half, 2.0 * full, full * 1e-9);
+}
+
+TEST(Planaria, ThrottlesToMinimalSlices)
+{
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel());
+    cb.addRequest(t, 0.0, 1e7); // enormous slack
+    sched::PlanariaScheduler planaria;
+    const auto plan = planaria.plan(cb.context(0.0));
+    ASSERT_EQ(plan.dispatches.size(), 1u);
+    // With huge slack the minimal allocation (one slice) suffices.
+    EXPECT_EQ(plan.dispatches[0].slices, 1u);
+    EXPECT_EQ(plan.dispatches[0].numLayers, 1u);
+}
+
+TEST(Planaria, GivesMoreSlicesUnderPressure)
+{
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel("big", 4));
+    auto* req = cb.addRequest(t, 0.0, 0.0);
+    auto& ctx = cb.context(0.0);
+    // Deadline that needs more than one slice but is achievable with
+    // a full allocation on the best accelerator.
+    double best_full = 1e300;
+    for (size_t a = 0; a < ctx.numAccels(); ++a) {
+        best_full = std::min(
+            best_full, sched::PlanariaScheduler::remainingLatencyUs(
+                           ctx, *req, a, 4));
+    }
+    req->deadlineUs = best_full * 1.5;
+    sched::PlanariaScheduler planaria;
+    const auto plan = planaria.plan(cb.context(0.0));
+    ASSERT_EQ(plan.dispatches.size(), 1u);
+    EXPECT_GT(plan.dispatches[0].slices, 1u);
+}
+
+TEST(Planaria, CoLocatesMultipleRequests)
+{
+    test::ContextBuilder cb;
+    const auto t1 = cb.addTask(test::toyModel("a"));
+    const auto t2 = cb.addTask(test::toyModel("b"));
+    cb.addRequest(t1, 0.0, 1e7);
+    cb.addRequest(t2, 0.0, 1e7);
+    sched::PlanariaScheduler planaria;
+    const auto plan = planaria.plan(cb.context(0.0));
+    // Both dispatched in one round (possibly sharing an accelerator).
+    EXPECT_EQ(plan.dispatches.size(), 2u);
+}
+
+TEST(StaticFcfs, TimetableCoversWorstCaseFrames)
+{
+    test::ContextBuilder cb;
+    const auto t1 = cb.addTask(test::toyModel("root"), 30.0);
+    cb.addTask(test::toyModel("dep"), 30.0, t1);
+    sched::StaticFcfsScheduler sched;
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    const auto& slots = sched.timetable();
+    // 2 s window at 30 FPS: 60 frames per task, both tasks reserved.
+    EXPECT_EQ(slots.size(), 120u);
+    // Slots on one accelerator never overlap.
+    std::vector<double> free_at(ctx.numAccels(), 0.0);
+    for (const auto& slot : slots) {
+        EXPECT_GE(slot.startUs + 1e-9, free_at[size_t(slot.accel)]);
+        free_at[size_t(slot.accel)] = slot.endUs;
+    }
+}
+
+TEST(StaticFcfs, RequestsWakeUpForFutureSlots)
+{
+    test::ContextBuilder cb;
+    const auto t = cb.addTask(test::toyModel(), 30.0);
+    (void)t;
+    sched::StaticFcfsScheduler sched;
+    auto& ctx = cb.context(0.0);
+    sched.reset(ctx);
+    // No ready requests yet: the scheduler asks for a wake-up
+    // instead of dispatching.
+    const auto plan = sched.plan(ctx);
+    EXPECT_TRUE(plan.dispatches.empty());
+    EXPECT_GE(plan.wakeUpUs, 0.0);
+}
+
+TEST(Traits, CoverageMatrixShape)
+{
+    const auto rows = sched::allSchedulerTraits();
+    ASSERT_GE(rows.size(), 6u);
+    // DREAM rows cover everything; FCFS covers almost nothing.
+    for (const auto& r : rows) {
+        if (r.name.rfind("DREAM-MapScore", 0) == 0 ||
+            r.name == "DREAM-Full") {
+            EXPECT_TRUE(r.cascade && r.concurrent && r.realTime &&
+                        r.taskDynamicity && r.modelDynamicity &&
+                        r.energy && r.heterogeneity);
+        }
+        if (r.name == "FCFS") {
+            EXPECT_FALSE(r.realTime);
+        }
+    }
+}
+
+} // namespace
+} // namespace dream

@@ -1,0 +1,167 @@
+/** @file Integration tests for the discrete-event simulator. */
+
+#include <gtest/gtest.h>
+
+#include "core/dream_scheduler.h"
+#include "metrics/uxcost.h"
+#include "runner/experiment.h"
+#include "sched/fcfs.h"
+#include "sim/simulator.h"
+
+namespace dream {
+namespace {
+
+sim::RunStats
+runFcfs(hw::SystemPreset sys_preset,
+        workload::ScenarioPreset sc_preset, double window_us,
+        uint64_t seed)
+{
+    const auto system = hw::makeSystem(sys_preset);
+    const auto scenario = workload::makeScenario(sc_preset);
+    sched::FcfsScheduler fcfs;
+    return runner::runOnce(system, scenario, fcfs, window_us, seed)
+        .stats;
+}
+
+TEST(Simulator, FrameAccountingConservation)
+{
+    const auto stats = runFcfs(hw::SystemPreset::Sys4k1Ws2Os,
+                               workload::ScenarioPreset::DroneOutdoor,
+                               1e6, 3);
+    for (const auto& ts : stats.tasks) {
+        EXPECT_GT(ts.totalFrames, 0u) << ts.model;
+        EXPECT_LE(ts.droppedFrames, ts.violatedFrames) << ts.model;
+        EXPECT_LE(ts.violatedFrames,
+                  ts.totalFrames) << ts.model;
+        EXPECT_LE(ts.completedFrames, ts.totalFrames) << ts.model;
+        // Every counted frame either completed or is violated
+        // (dropped / unfinished frames are violations).
+        EXPECT_GE(ts.completedFrames + ts.violatedFrames,
+                  ts.totalFrames) << ts.model;
+        EXPECT_GE(ts.energyMj, 0.0);
+        EXPECT_GE(ts.worstCaseEnergyMj, 0.0);
+    }
+}
+
+TEST(Simulator, RootFrameCountsMatchFps)
+{
+    const auto stats = runFcfs(hw::SystemPreset::Sys8k2Ws,
+                               workload::ScenarioPreset::DroneOutdoor,
+                               2e6, 3);
+    // Drone_Outdoor: SSD 30 FPS, TrailNet 60, SOSNet 60 over 2 s.
+    EXPECT_EQ(stats.tasks[0].totalFrames, 60u);
+    EXPECT_EQ(stats.tasks[1].totalFrames, 120u);
+    EXPECT_EQ(stats.tasks[2].totalFrames, 120u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    const auto a = runFcfs(hw::SystemPreset::Sys4k1Os2Ws,
+                           workload::ScenarioPreset::ArCall, 1e6, 9);
+    const auto b = runFcfs(hw::SystemPreset::Sys4k1Os2Ws,
+                           workload::ScenarioPreset::ArCall, 1e6, 9);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (size_t t = 0; t < a.tasks.size(); ++t) {
+        EXPECT_EQ(a.tasks[t].violatedFrames, b.tasks[t].violatedFrames);
+        EXPECT_EQ(a.tasks[t].completedFrames,
+                  b.tasks[t].completedFrames);
+        EXPECT_DOUBLE_EQ(a.tasks[t].energyMj, b.tasks[t].energyMj);
+    }
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+}
+
+TEST(Simulator, SeedChangesDynamicOutcomes)
+{
+    const auto a = runFcfs(hw::SystemPreset::Sys4k1Ws2Os,
+                           workload::ScenarioPreset::ArCall, 2e6, 1);
+    const auto b = runFcfs(hw::SystemPreset::Sys4k1Ws2Os,
+                           workload::ScenarioPreset::ArCall, 2e6, 2);
+    // GNMT is cascade-gated: different seeds trigger different counts.
+    EXPECT_NE(a.tasks[1].totalFrames, b.tasks[1].totalFrames);
+}
+
+TEST(Simulator, CascadeChildrenOnlyAfterParentCompletes)
+{
+    const auto stats = runFcfs(hw::SystemPreset::Sys8k2Ws,
+                               workload::ScenarioPreset::ArCall, 2e6,
+                               7);
+    // GNMT frames can never outnumber completed KWS frames.
+    EXPECT_LE(stats.tasks[1].totalFrames,
+              stats.tasks[0].completedFrames);
+    EXPECT_GT(stats.tasks[1].totalFrames, 0u);
+}
+
+TEST(Simulator, SameWorkloadForEverySchedulerSameSeed)
+{
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys8k2Ws);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::VrGaming);
+    sched::FcfsScheduler fcfs;
+    core::DreamScheduler dream(core::DreamConfig::mapScore());
+    const auto a =
+        runner::runOnce(system, scenario, fcfs, 1e6, 5).stats;
+    const auto b =
+        runner::runOnce(system, scenario, dream, 1e6, 5).stats;
+    // Root-task frame counts are workload properties, not scheduler
+    // properties.
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (size_t t = 0; t < a.tasks.size(); ++t) {
+        if (scenario.tasks[t].dependsOn == workload::kNoParent) {
+            EXPECT_EQ(a.tasks[t].totalFrames, b.tasks[t].totalFrames);
+        }
+    }
+}
+
+TEST(Simulator, EnergyIsChargedAndContextSwitchesCounted)
+{
+    // Layer-granularity scheduling (DREAM) migrates requests between
+    // accelerators mid-model, which is what incurs context switches;
+    // whole-model FCFS legitimately has none.
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::ArSocial);
+    core::DreamScheduler dream(core::DreamConfig::mapScore());
+    const auto stats =
+        runner::runOnce(system, scenario, dream, 1e6, 3).stats;
+    EXPECT_GT(stats.totalEnergyMj(), 0.0);
+    EXPECT_GT(stats.contextSwitches, 0u);
+    EXPECT_GT(stats.contextSwitchEnergyMj, 0.0);
+    EXPECT_LT(stats.contextSwitchEnergyMj, stats.totalEnergyMj());
+    EXPECT_GT(stats.schedulerInvocations, 0u);
+
+    const auto fcfs_stats =
+        runFcfs(hw::SystemPreset::Sys4k1Ws2Os,
+                workload::ScenarioPreset::ArSocial, 1e6, 3);
+    EXPECT_EQ(fcfs_stats.contextSwitches, 0u);
+}
+
+TEST(Simulator, WindowTruncationExcludesTailFrames)
+{
+    // Frames whose deadline falls outside the window are not counted.
+    const auto short_run =
+        runFcfs(hw::SystemPreset::Sys8k2Ws,
+                workload::ScenarioPreset::DroneOutdoor, 5e5, 3);
+    EXPECT_EQ(short_run.tasks[1].totalFrames, 30u); // 60 FPS x 0.5 s
+}
+
+TEST(Simulator, SupernetVariantTalliesMatchStartedFrames)
+{
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::ArSocial);
+    core::DreamScheduler dream(core::DreamConfig::full());
+    const auto stats =
+        runner::runOnce(system, scenario, dream, 1e6, 3).stats;
+    for (const auto& ts : stats.tasks) {
+        if (ts.variantStarts.empty())
+            continue;
+        uint64_t started = 0;
+        for (const auto v : ts.variantStarts)
+            started += v;
+        EXPECT_LE(started, ts.totalFrames);
+        EXPECT_GT(started, 0u);
+    }
+}
+
+} // namespace
+} // namespace dream

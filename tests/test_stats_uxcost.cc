@@ -1,0 +1,108 @@
+/** @file Tests for statistics and the UXCost metric (Algorithm 2). */
+
+#include <gtest/gtest.h>
+
+#include "metrics/uxcost.h"
+#include "sim/stats.h"
+
+namespace dream {
+namespace {
+
+sim::TaskStats
+taskStats(uint64_t total, uint64_t violated, double energy,
+          double worst)
+{
+    sim::TaskStats ts;
+    ts.totalFrames = total;
+    ts.violatedFrames = violated;
+    ts.energyMj = energy;
+    ts.worstCaseEnergyMj = worst;
+    return ts;
+}
+
+TEST(TaskStats, DlvRateBasic)
+{
+    EXPECT_DOUBLE_EQ(taskStats(100, 25, 0, 0).dlvRate(), 0.25);
+}
+
+TEST(TaskStats, DlvRateZeroViolationFloor)
+{
+    // Algorithm 2 lines 7-8: 1 / (2 * total frames).
+    EXPECT_DOUBLE_EQ(taskStats(60, 0, 0, 0).dlvRate(),
+                     1.0 / 120.0);
+}
+
+TEST(TaskStats, DlvRateNoFrames)
+{
+    EXPECT_DOUBLE_EQ(taskStats(0, 0, 0, 0).dlvRate(), 0.0);
+}
+
+TEST(TaskStats, NormEnergy)
+{
+    EXPECT_DOUBLE_EQ(taskStats(10, 0, 50.0, 200.0).normEnergy(), 0.25);
+    EXPECT_DOUBLE_EQ(taskStats(10, 0, 50.0, 0.0).normEnergy(), 0.0);
+}
+
+TEST(RunStats, OverallSumsPerModel)
+{
+    sim::RunStats rs;
+    rs.tasks.push_back(taskStats(100, 10, 30.0, 100.0)); // 0.1, 0.3
+    rs.tasks.push_back(taskStats(50, 0, 20.0, 40.0));    // 0.01, 0.5
+    EXPECT_DOUBLE_EQ(rs.overallDlvRate(), 0.1 + 0.01);
+    EXPECT_DOUBLE_EQ(rs.overallNormEnergy(), 0.3 + 0.5);
+    EXPECT_EQ(rs.totalFrames(), 150u);
+    EXPECT_EQ(rs.totalViolated(), 10u);
+    EXPECT_DOUBLE_EQ(rs.totalEnergyMj(), 50.0);
+    EXPECT_DOUBLE_EQ(rs.violationFraction(), 10.0 / 150.0);
+}
+
+TEST(UxCost, IsProductOfRateAndEnergy)
+{
+    sim::RunStats rs;
+    rs.tasks.push_back(taskStats(100, 20, 50.0, 100.0)); // 0.2, 0.5
+    rs.tasks.push_back(taskStats(100, 10, 25.0, 100.0)); // 0.1, 0.25
+    EXPECT_DOUBLE_EQ(metrics::uxCost(rs), 0.3 * 0.75);
+}
+
+TEST(UxCost, ZeroViolationsDoNotZeroTheMetric)
+{
+    sim::RunStats rs;
+    rs.tasks.push_back(taskStats(60, 0, 50.0, 100.0));
+    EXPECT_GT(metrics::uxCost(rs), 0.0);
+}
+
+TEST(UxCost, LowerIsBetterUnderImprovement)
+{
+    sim::RunStats worse, better;
+    worse.tasks.push_back(taskStats(100, 40, 80.0, 100.0));
+    better.tasks.push_back(taskStats(100, 10, 60.0, 100.0));
+    EXPECT_LT(metrics::uxCost(better), metrics::uxCost(worse));
+}
+
+TEST(Objective, EvaluateDispatch)
+{
+    sim::RunStats rs;
+    rs.tasks.push_back(taskStats(100, 20, 50.0, 100.0));
+    EXPECT_DOUBLE_EQ(
+        metrics::evaluate(metrics::Objective::UxCost, rs),
+        metrics::uxCost(rs));
+    EXPECT_DOUBLE_EQ(
+        metrics::evaluate(metrics::Objective::DlvRateOnly, rs),
+        rs.overallDlvRate());
+    EXPECT_DOUBLE_EQ(
+        metrics::evaluate(metrics::Objective::EnergyOnly, rs),
+        rs.overallNormEnergy());
+}
+
+TEST(Objective, Names)
+{
+    EXPECT_STREQ(metrics::toString(metrics::Objective::UxCost),
+                 "UXCost");
+    EXPECT_STREQ(metrics::toString(metrics::Objective::DlvRateOnly),
+                 "DLVRate");
+    EXPECT_STREQ(metrics::toString(metrics::Objective::EnergyOnly),
+                 "Energy");
+}
+
+} // namespace
+} // namespace dream

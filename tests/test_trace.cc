@@ -1,0 +1,65 @@
+/** @file Tests for the frame trace and CSV export. */
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+#include "runner/trace.h"
+
+namespace dream {
+namespace {
+
+TEST(Trace, FrameRecordsMatchTaskStats)
+{
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::ArCall);
+    auto sched = runner::makeScheduler(runner::SchedKind::Fcfs);
+    const auto r = runner::runOnce(system, scenario, *sched, 1e6, 3);
+
+    EXPECT_EQ(r.stats.frames.size(), r.stats.totalFrames());
+    std::vector<uint64_t> violated(scenario.tasks.size(), 0);
+    std::vector<uint64_t> dropped(scenario.tasks.size(), 0);
+    for (const auto& fr : r.stats.frames) {
+        violated[size_t(fr.task)] += fr.violated ? 1 : 0;
+        dropped[size_t(fr.task)] += fr.dropped ? 1 : 0;
+        EXPECT_GE(fr.deadlineUs, fr.arrivalUs);
+        if (fr.completionUs >= 0.0) {
+            EXPECT_GE(fr.completionUs, fr.arrivalUs);
+        }
+    }
+    for (size_t t = 0; t < scenario.tasks.size(); ++t) {
+        EXPECT_EQ(violated[t], r.stats.tasks[t].violatedFrames);
+        EXPECT_EQ(dropped[t], r.stats.tasks[t].droppedFrames);
+    }
+}
+
+TEST(Trace, CsvShapeAndHeader)
+{
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys8k2Ws);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::DroneOutdoor);
+    auto sched = runner::makeScheduler(runner::SchedKind::Fcfs);
+    const auto r = runner::runOnce(system, scenario, *sched, 5e5, 3);
+
+    const auto csv = runner::frameTraceCsv(r.stats, scenario);
+    std::istringstream is(csv);
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line,
+              "model,frame,arrival_us,deadline_us,completion_us,"
+              "latency_us,violated,dropped,variant,energy_mj");
+    size_t rows = 0;
+    while (std::getline(is, line)) {
+        ++rows;
+        // 10 columns -> 9 commas per row.
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9);
+    }
+    EXPECT_EQ(rows, r.stats.frames.size());
+    EXPECT_NE(csv.find("TrailNet"), std::string::npos);
+}
+
+} // namespace
+} // namespace dream
