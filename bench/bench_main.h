@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared command-line entry helpers for the bench suite: every bench
+ * built on the sweep engine accepts
+ *
+ *   --jobs N   worker threads (0 = hardware concurrency; default 1)
+ *   --out F    stream engine result rows to file F
+ *   --json     write --out as a JSON array instead of CSV
+ *
+ * Parallel runs are bit-identical to --jobs 1: the engine orders
+ * records by grid index before any sink sees them.
+ */
+
+#ifndef DREAM_BENCH_BENCH_MAIN_H
+#define DREAM_BENCH_BENCH_MAIN_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/result_sink.h"
+#include "engine/worker_pool.h"
+
+namespace dream {
+namespace bench {
+
+/** Parsed common bench flags. */
+struct Options {
+    int jobs = 1;          ///< effective worker count (>= 1)
+    std::string out;       ///< result file path; empty = none
+    bool json = false;     ///< --out format: JSON instead of CSV
+};
+
+inline void
+printUsage(const char* prog)
+{
+    std::printf("usage: %s [--jobs N] [--out FILE [--json]]\n"
+                "  --jobs N   worker threads (0 = all cores; "
+                "default 1)\n"
+                "  --out F    write engine result rows to F\n"
+                "  --json     --out as JSON array instead of CSV\n",
+                prog);
+}
+
+/** Parse the shared flags; exits on --help or unknown arguments. */
+inline Options
+parseArgs(int argc, char** argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            char* end = nullptr;
+            opts.jobs = int(std::strtol(argv[++i], &end, 10));
+            if (end == argv[i] || *end != '\0') {
+                std::fprintf(stderr, "invalid --jobs value: %s\n",
+                             argv[i]);
+                std::exit(2);
+            }
+        } else if (arg == "--out" && i + 1 < argc) {
+            opts.out = argv[++i];
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            printUsage(argv[0]);
+            std::exit(2);
+        }
+    }
+    if (opts.jobs <= 0)
+        opts.jobs = engine::WorkerPool::defaultJobs();
+    return opts;
+}
+
+/** File sink for --out (CSV, or JSON with --json); null without.
+ *  Exits with an error if the file cannot be opened for writing. */
+inline std::unique_ptr<engine::ResultSink>
+makeFileSink(const Options& opts)
+{
+    if (opts.out.empty())
+        return nullptr;
+    bool ok = true;
+    std::unique_ptr<engine::ResultSink> sink;
+    if (opts.json) {
+        auto json = std::make_unique<engine::JsonSink>(opts.out);
+        ok = json->ok();
+        sink = std::move(json);
+    } else {
+        auto csv = std::make_unique<engine::CsvSink>(opts.out);
+        ok = csv->ok();
+        sink = std::move(csv);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "cannot open --out file for writing: %s\n",
+                     opts.out.c_str());
+        std::exit(2);
+    }
+    return sink;
+}
+
+/** Sink list for Engine::run() — drops null entries. */
+inline std::vector<engine::ResultSink*>
+sinkList(std::initializer_list<engine::ResultSink*> sinks)
+{
+    std::vector<engine::ResultSink*> out;
+    for (engine::ResultSink* s : sinks) {
+        if (s)
+            out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace bench
+} // namespace dream
+
+#endif // DREAM_BENCH_BENCH_MAIN_H

@@ -5,31 +5,43 @@
  * [0,2]^2, shown as a coarse grid, plus the optimisation steps of the
  * shrinking-radius search overlaid as a step list. The paper uses
  * this to argue the space is well-conditioned and quick to search.
+ *
+ * The grid scan runs through the sweep engine (--jobs parallelises
+ * it; --out streams the grid rows); the search evaluates each step's
+ * candidate batch on the same worker pool.
  */
 
 #include <cstdio>
 
+#include "bench_main.h"
+#include "engine/param_eval.h"
 #include "runner/table.h"
-#include "search_util.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Os2Ws);
-    const auto scenario =
-        workload::makeScenario(workload::ScenarioPreset::VrGaming);
-    const auto eval = bench::makeEvaluator(system, scenario);
+    const auto opts = bench::parseArgs(argc, argv);
+    const auto sys_preset = hw::SystemPreset::Sys4k1Os2Ws;
+    const auto sc_preset = workload::ScenarioPreset::VrGaming;
+    const auto system = hw::makeSystem(sys_preset);
+    const auto scenario = workload::makeScenario(sc_preset);
 
     std::printf("Figure 3: UXCost over (alpha, beta) in [0,2]^2 — "
                 "VR_Gaming on %s\n\n", system.name.c_str());
 
     constexpr int n = 9;
-    bench::GridPoint best{};
-    const auto grid = bench::scanGrid(eval, n, &best);
+    engine::Engine eng({opts.jobs});
+    const auto grid = engine::paramSpaceGrid(sys_preset, sc_preset, n);
+    auto file_sink = bench::makeFileSink(opts);
+    const auto records =
+        eng.run(grid, bench::sinkList({file_sink.get()}));
+    const auto best = engine::bestParams(records);
 
-    // Render the surface row by row (alpha down, beta across).
+    // Render the surface row by row (alpha down, beta across); the
+    // engine's grid order is alpha-outer, beta-inner, so record
+    // i * n + j is (alpha_i, beta_j).
     std::printf("%6s", "a\\b");
     for (int j = 0; j < n; ++j)
         std::printf("  %5.2f", 2.0 * j / (n - 1));
@@ -37,13 +49,15 @@ main()
     for (int i = 0; i < n; ++i) {
         std::printf("%6.2f", 2.0 * i / (n - 1));
         for (int j = 0; j < n; ++j)
-            std::printf("  %5.2f", grid[size_t(i * n + j)].cost);
+            std::printf("  %5.2f", records[size_t(i * n + j)].uxCost);
         std::printf("\n");
     }
     std::printf("\ngrid optimum: UXCost %.4f at (alpha=%.2f, "
                 "beta=%.2f)\n\n", best.cost, best.alpha, best.beta);
 
     // Overlay: the shrinking-radius search from a corner start.
+    engine::WorkerPool pool(opts.jobs);
+    const auto eval = engine::makeBatchEvaluator(system, scenario, pool);
     core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
     const auto result = search.optimize(eval, 0.2, 1.8);
     runner::Table t({"Step", "alpha", "beta", "UXCost", "radius",

@@ -5,6 +5,11 @@
  * hardware settings, across the evaluated schedulers (FCFS, Veltair,
  * Planaria, DREAM-MapScore, DREAM-SmartDrop, DREAM-Full).
  *
+ * The whole (scenario x system x scheduler x seed) evaluation is one
+ * engine sweep: --jobs shards the 360 runs across threads, --out
+ * streams every per-seed row, and the per-cell means come from the
+ * aggregating sink.
+ *
  * The paper's headline numbers for this figure: DREAM reduces UXCost
  * by 32.1% vs Planaria and 50.0% vs Veltair in geomean, with up to
  * 80.8% (AR_Social, 4K 1WS+2OS) and 97.6% (Drone_Outdoor,
@@ -13,45 +18,73 @@
 
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "bench_main.h"
+#include "engine/engine.h"
 #include "runner/experiment.h"
 #include "runner/table.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const auto seeds = runner::defaultSeeds();
+    const auto opts = bench::parseArgs(argc, argv);
     const auto schedulers = runner::evaluationSchedulers();
+
+    engine::SweepGrid grid;
+    for (const auto sc_preset : workload::allScenarioPresets())
+        grid.addScenario(sc_preset);
+    for (const auto sys_preset : hw::heterogeneousPresets())
+        grid.addSystem(sys_preset);
+    for (const auto kind : schedulers)
+        grid.addScheduler(kind);
+    grid.seeds(runner::defaultSeeds()).window(runner::kDefaultWindowUs);
+
+    engine::AggregateSink agg;
+    auto file_sink = bench::makeFileSink(opts);
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+
+    // Per-cell means addressable by (scenario, system, scheduler).
+    std::map<std::string, engine::AggregateSink::Cell> cells;
+    for (const auto& cell : agg.cells())
+        cells[cell.scenario + '|' + cell.system + '|' +
+              cell.scheduler] = cell;
+    const auto cellOf = [&](workload::ScenarioPreset sc,
+                            hw::SystemPreset sys,
+                            runner::SchedKind kind)
+        -> const engine::AggregateSink::Cell& {
+        return cells.at(workload::toString(sc) + '|' +
+                        hw::toString(sys) + '|' +
+                        runner::toString(kind));
+    };
 
     // geomean accumulators across (scenario x system) per scheduler
     std::map<runner::SchedKind, std::vector<double>> ux_all;
 
     for (const auto sys_preset : hw::heterogeneousPresets()) {
-        const auto system = hw::makeSystem(sys_preset);
-        std::printf("== Figure 7: %s ==\n", system.name.c_str());
+        std::printf("== Figure 7: %s ==\n",
+                    hw::toString(sys_preset).c_str());
         runner::Table ux({"Scenario", "FCFS", "Veltair", "Planaria",
                           "DRM-Map", "DRM-Drop", "DRM-Full"});
         runner::Table dlv = ux;
         runner::Table energy = ux;
 
         for (const auto sc_preset : workload::allScenarioPresets()) {
-            const auto scenario = workload::makeScenario(sc_preset);
             std::vector<std::string> ux_row{toString(sc_preset)};
             std::vector<std::string> dlv_row{toString(sc_preset)};
             std::vector<std::string> en_row{toString(sc_preset)};
             for (const auto kind : schedulers) {
-                auto sched = runner::makeScheduler(kind);
-                const auto agg = runner::runSeeds(
-                    system, scenario, *sched, runner::kDefaultWindowUs,
-                    seeds);
-                ux_row.push_back(runner::fmt(agg.uxCost, 4));
-                dlv_row.push_back(runner::fmtPct(
-                    agg.violationFraction));
-                en_row.push_back(runner::fmt(agg.normEnergy, 3));
-                ux_all[kind].push_back(agg.uxCost);
+                const auto& cell = cellOf(sc_preset, sys_preset, kind);
+                ux_row.push_back(runner::fmt(cell.uxCost.mean, 4));
+                dlv_row.push_back(
+                    runner::fmtPct(cell.violationFraction.mean));
+                en_row.push_back(
+                    runner::fmt(cell.normEnergy.mean, 3));
+                ux_all[kind].push_back(cell.uxCost.mean);
             }
             ux.addRow(ux_row);
             dlv.addRow(dlv_row);

@@ -4,20 +4,27 @@
  * optimisation — UXCost improvement per optimisation step. The paper
  * reports >25% UXCost improvement within two steps and convergence
  * to within 2% of the global minimum within five steps.
+ *
+ * The per-case 7x7 reference grid runs through the sweep engine
+ * (--jobs / --out), and the search evaluates each step's candidate
+ * batch on the same worker pool.
  */
 
 #include <cstdio>
 #include <string>
 
+#include "bench_main.h"
+#include "engine/param_eval.h"
 #include "runner/table.h"
-#include "search_util.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Os2Ws);
+    const auto opts = bench::parseArgs(argc, argv);
+    const auto sys_preset = hw::SystemPreset::Sys4k1Os2Ws;
+    const auto system = hw::makeSystem(sys_preset);
     const struct {
         const char* name;
         workload::ScenarioPreset preset;
@@ -30,15 +37,24 @@ main()
          0.1},
     };
 
+    engine::Engine eng({opts.jobs});
+    engine::WorkerPool pool(opts.jobs);
+    auto file_sink = bench::makeFileSink(opts);
+
     std::printf("Figure 11: UXCost vs optimisation step (normalised "
                 "to the step-0 value; gap vs 7x7 grid optimum)\n\n");
     runner::Table t({"Case", "Step0", "Step1", "Step2", "Step3",
                      "Step4+", "Final gap"});
     for (const auto& c : cases) {
         const auto scenario = workload::makeScenario(c.preset);
-        const auto eval = bench::makeEvaluator(system, scenario);
-        bench::GridPoint best{};
-        bench::scanGrid(eval, 7, &best);
+        const auto grid =
+            engine::paramSpaceGrid(sys_preset, c.preset, 7);
+        const auto records =
+            eng.run(grid, bench::sinkList({file_sink.get()}));
+        const auto best = engine::bestParams(records);
+
+        const auto eval =
+            engine::makeBatchEvaluator(system, scenario, pool);
         core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
         const auto result = search.optimize(eval, c.a0, c.b0);
 

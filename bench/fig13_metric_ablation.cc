@@ -6,23 +6,34 @@
  * optimisation degrading the other metric (e.g. energy-only raises
  * VR_Gaming's violation rate by 34.2%, UXCost by 28.7%), while
  * UXCost optimisation balances both.
+ *
+ * Each search step's candidate batch is evaluated on the engine's
+ * worker pool (--jobs); --out streams the per-objective re-evaluation
+ * runs as result rows.
  */
 
 #include <cstdio>
 
+#include "bench_main.h"
+#include "engine/param_eval.h"
+#include "runner/experiment.h"
 #include "runner/table.h"
-#include "search_util.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const auto opts = bench::parseArgs(argc, argv);
     const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Os2Ws);
     const workload::ScenarioPreset scenarios[] = {
         workload::ScenarioPreset::VrGaming,
         workload::ScenarioPreset::ArSocial};
     const double probs[] = {0.5, 0.9};
+
+    engine::WorkerPool pool(opts.jobs);
+    auto file_sink = bench::makeFileSink(opts);
+    size_t row_index = 0;
 
     for (const auto sc_preset : scenarios) {
         std::printf("== Figure 13: %s on %s ==\n",
@@ -37,8 +48,8 @@ main()
             for (const auto obj : {metrics::Objective::UxCost,
                                    metrics::Objective::DlvRateOnly,
                                    metrics::Objective::EnergyOnly}) {
-                const auto eval =
-                    bench::makeEvaluator(system, scenario, obj);
+                const auto eval = engine::makeBatchEvaluator(
+                    system, scenario, pool, obj);
                 core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
                 const auto result = search.optimize(eval, 1.0, 1.0);
                 // Re-evaluate the found parameters on all metrics.
@@ -46,11 +57,26 @@ main()
                     result.alpha, result.beta);
                 cfg.smartDrop = true;
                 core::DreamScheduler sched(cfg);
-                const auto r = runner::runOnce(system, scenario, sched,
-                                               bench::kSearchWindowUs,
-                                               11);
+                const auto r = runner::runOnce(
+                    system, scenario, sched, engine::kSearchWindowUs,
+                    engine::kSearchSeed);
                 if (obj == metrics::Objective::UxCost)
                     ux_of_uxopt = r.uxCost;
+                if (file_sink) {
+                    engine::RunRecord rec;
+                    rec.index = row_index++;
+                    rec.scenario = toString(sc_preset) + "@p" +
+                                   engine::formatValue(prob);
+                    rec.system = system.name;
+                    rec.scheduler = std::string("DREAM-Fixed/opt=") +
+                                    metrics::toString(obj);
+                    rec.params = {{"alpha", result.alpha},
+                                  {"beta", result.beta}};
+                    rec.seed = engine::kSearchSeed;
+                    rec.windowUs = engine::kSearchWindowUs;
+                    engine::fillMetrics(rec, r.stats);
+                    file_sink->write(rec);
+                }
                 t.addRow({runner::fmtPct(prob, 0),
                           metrics::toString(obj),
                           runner::fmt(result.alpha, 2),

@@ -16,10 +16,29 @@ ParamSearch::clamp(double v) const
 SearchResult
 ParamSearch::optimize(const CostFn& cost, double a0, double b0) const
 {
+    const BatchCostFn batch =
+        [&cost](const std::vector<std::pair<double, double>>& pts) {
+            std::vector<double> out;
+            out.reserve(pts.size());
+            for (const auto& pt : pts)
+                out.push_back(cost(pt.first, pt.second));
+            return out;
+        };
+    return optimize(batch, a0, b0);
+}
+
+SearchResult
+ParamSearch::optimize(const BatchCostFn& cost, double a0,
+                      double b0) const
+{
+    const auto eval1 = [&cost](double a, double b) {
+        return cost({{a, b}}).front();
+    };
+
     SearchResult result;
     double a = clamp(a0);
     double b = clamp(b0);
-    double c = cost(a, b);
+    double c = eval1(a, b);
     ++result.evaluations;
     result.trajectory.push_back({a, b, c, initialRadius_, 0});
 
@@ -29,23 +48,26 @@ ParamSearch::optimize(const CostFn& cost, double a0, double b0) const
          radius *= 0.5) {
         ++step;
         // Neighbouring pairs at the radius plus distant pairs at twice
-        // the radius (diagonals), Section 3.6.
+        // the radius (diagonals), Section 3.6. The candidates of one
+        // step are independent: evaluate them as one batch.
         const double r2 = 2.0 * radius;
-        const double pts[][2] = {
-            {a + radius, b}, {a - radius, b},
-            {a, b + radius}, {a, b - radius},
-            {a + r2, b + r2}, {a - r2, b + r2},
-            {a + r2, b - r2}, {a - r2, b - r2},
+        std::vector<std::pair<double, double>> pts = {
+            {clamp(a + radius), clamp(b)}, {clamp(a - radius), clamp(b)},
+            {clamp(a), clamp(b + radius)}, {clamp(a), clamp(b - radius)},
+            {clamp(a + r2), clamp(b + r2)}, {clamp(a - r2), clamp(b + r2)},
+            {clamp(a + r2), clamp(b - r2)}, {clamp(a - r2), clamp(b - r2)},
         };
+        const std::vector<double> costs = cost(pts);
+        assert(costs.size() == pts.size());
+        result.evaluations += int(pts.size());
 
-        // Evaluate current + candidates; keep the two minima.
+        // Current + candidates; keep the two minima in batch order.
         double c1a = a, c1b = b, c1c = c;
         double c2a = a, c2b = b, c2c = std::numeric_limits<double>::max();
-        for (const auto& pt : pts) {
-            const double pa = clamp(pt[0]);
-            const double pb = clamp(pt[1]);
-            const double pc = cost(pa, pb);
-            ++result.evaluations;
+        for (size_t i = 0; i < pts.size(); ++i) {
+            const double pa = pts[i].first;
+            const double pb = pts[i].second;
+            const double pc = costs[i];
             if (pc < c1c) {
                 c2a = c1a; c2b = c1b; c2c = c1c;
                 c1a = pa; c1b = pb; c1c = pc;
@@ -57,7 +79,7 @@ ParamSearch::optimize(const CostFn& cost, double a0, double b0) const
         // Move to the interpolation of the two minimum pairs.
         const double ia = clamp(0.5 * (c1a + c2a));
         const double ib = clamp(0.5 * (c1b + c2b));
-        const double ic = cost(ia, ib);
+        const double ic = eval1(ia, ib);
         ++result.evaluations;
         if (ic <= c1c) {
             a = ia; b = ib; c = ic;

@@ -22,6 +22,7 @@
 #define DREAM_CORE_ADAPTIVITY_H
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/dream_config.h"
@@ -54,6 +55,16 @@ struct SearchResult {
 /** Cost callback: objective value at (alpha, beta); lower is better. */
 using CostFn = std::function<double(double, double)>;
 
+/**
+ * Batched cost callback: objective values for a list of (alpha,
+ * beta) pairs, in order. Lets callers evaluate the independent
+ * candidate points of one search step concurrently (e.g. on the
+ * sweep engine's WorkerPool) while the search itself stays
+ * sequential — results are identical to the serial CostFn path.
+ */
+using BatchCostFn = std::function<std::vector<double>(
+    const std::vector<std::pair<double, double>>&)>;
+
 /** Offline shrinking-radius (alpha, beta) search. */
 class ParamSearch {
 public:
@@ -72,6 +83,14 @@ public:
 
     /** Run the search from (a0, b0). */
     SearchResult optimize(const CostFn& cost, double a0,
+                          double b0) const;
+
+    /**
+     * Run the search from (a0, b0), evaluating each step's candidate
+     * points through one batched call (bit-identical to the serial
+     * overload).
+     */
+    SearchResult optimize(const BatchCostFn& cost, double a0,
                           double b0) const;
 
 private:

@@ -1,0 +1,84 @@
+#include "engine/engine.h"
+
+#include <cassert>
+
+#include "costmodel/cost_table.h"
+#include "engine/worker_pool.h"
+#include "metrics/uxcost.h"
+#include "sim/simulator.h"
+
+namespace dream {
+namespace engine {
+
+RunRecord
+runGridPoint(const SweepGrid::Point& point)
+{
+    // Materialise everything locally: workers share nothing mutable.
+    const workload::Scenario scenario = (*point.makeScenario)();
+    const hw::SystemConfig system = (*point.makeSystem)();
+    cost::CostTable costs(system);
+    for (const auto& t : scenario.tasks)
+        costs.addModel(t.model);
+
+    auto sched = (*point.makeScheduler)(point.params);
+    assert(sched && "scheduler factory returned nullptr");
+
+    sim::SimConfig cfg;
+    cfg.windowUs = point.windowUs;
+    cfg.seed = point.seed;
+    sim::Simulator simulator(system, scenario, costs, cfg);
+    const sim::RunStats stats = simulator.run(*sched);
+
+    RunRecord r;
+    r.index = point.index;
+    r.scenario = point.scenario;
+    r.system = point.system;
+    r.scheduler = point.scheduler;
+    r.params = point.params;
+    r.seed = point.seed;
+    r.windowUs = point.windowUs;
+    fillMetrics(r, stats);
+    return r;
+}
+
+void
+fillMetrics(RunRecord& r, const sim::RunStats& stats)
+{
+    r.uxCost = metrics::uxCost(stats);
+    r.dlvRate = stats.overallDlvRate();
+    r.normEnergy = stats.overallNormEnergy();
+    r.energyMj = stats.totalEnergyMj();
+    r.violationFraction = stats.violationFraction();
+    r.totalFrames = stats.totalFrames();
+    r.violatedFrames = stats.totalViolated();
+    r.droppedFrames = 0;
+    for (const auto& t : stats.tasks)
+        r.droppedFrames += t.droppedFrames;
+    r.dropRate = r.totalFrames == 0
+                     ? 0.0
+                     : double(r.droppedFrames) / double(r.totalFrames);
+    r.schedulerInvocations = stats.schedulerInvocations;
+}
+
+std::vector<RunRecord>
+Engine::run(const SweepGrid& grid,
+            const std::vector<ResultSink*>& sinks) const
+{
+    const size_t n = grid.size();
+    std::vector<RunRecord> records(n);
+
+    WorkerPool pool(opts_.jobs);
+    pool.parallelFor(
+        n, [&](size_t i) { records[i] = runGridPoint(grid.point(i)); });
+
+    for (ResultSink* sink : sinks) {
+        if (!sink)
+            continue;
+        for (const auto& r : records)
+            sink->write(r);
+    }
+    return records;
+}
+
+} // namespace engine
+} // namespace dream

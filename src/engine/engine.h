@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The parallel sweep engine: executes every point of a SweepGrid on
+ * a WorkerPool and delivers RunRecords to result sinks.
+ *
+ * Determinism contract: each grid point is simulated with its own
+ * Simulator, CostTable and scheduler instance, seeded from the grid
+ * point alone, and records are collected into a pre-sized vector by
+ * flat index. Sinks therefore observe the exact same byte stream for
+ * any worker count — `--jobs 8` equals `--jobs 1`.
+ */
+
+#ifndef DREAM_ENGINE_ENGINE_H
+#define DREAM_ENGINE_ENGINE_H
+
+#include <vector>
+
+#include "engine/result_sink.h"
+#include "engine/sweep_grid.h"
+
+namespace dream {
+namespace engine {
+
+/** Engine knobs. */
+struct EngineOptions {
+    /** Worker threads; <= 0 selects hardware concurrency. */
+    int jobs = 1;
+};
+
+/** Simulate one grid point in isolation (runs on worker threads). */
+RunRecord runGridPoint(const SweepGrid::Point& point);
+
+/**
+ * Fill a record's metric fields from finished run stats (identity
+ * fields — scenario, system, scheduler, params, seed, window — are
+ * the caller's). Lets benches that run simulations outside the
+ * engine still stream rows through result sinks.
+ */
+void fillMetrics(RunRecord& record, const sim::RunStats& stats);
+
+/** Parallel sweep driver. */
+class Engine {
+public:
+    explicit Engine(EngineOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Execute every point of @p grid, then deliver all records to
+     * @p sinks in flat-index order. Sinks are not closed (a sink may
+     * accumulate several runs); callers or sink destructors close.
+     *
+     * @return all records, indexed by flat grid index.
+     */
+    std::vector<RunRecord>
+    run(const SweepGrid& grid,
+        const std::vector<ResultSink*>& sinks = {}) const;
+
+    int jobs() const { return opts_.jobs; }
+
+private:
+    EngineOptions opts_;
+};
+
+} // namespace engine
+} // namespace dream
+
+#endif // DREAM_ENGINE_ENGINE_H

@@ -1,0 +1,95 @@
+#include "engine/param_eval.h"
+
+#include <cassert>
+#include <limits>
+
+#include "core/dream_config.h"
+#include "core/dream_scheduler.h"
+#include "runner/experiment.h"
+
+namespace dream {
+namespace engine {
+
+core::CostFn
+makeEvaluator(const hw::SystemConfig& system,
+              const workload::Scenario& scenario,
+              metrics::Objective objective, uint64_t seed)
+{
+    return [&system, &scenario, objective, seed](double a, double b) {
+        core::DreamConfig cfg = core::DreamConfig::fixedParams(a, b);
+        cfg.smartDrop = true;
+        core::DreamScheduler sched(cfg);
+        const auto r = runner::runOnce(system, scenario, sched,
+                                       kSearchWindowUs, seed);
+        return metrics::evaluate(objective, r.stats);
+    };
+}
+
+core::BatchCostFn
+makeBatchEvaluator(const hw::SystemConfig& system,
+                   const workload::Scenario& scenario,
+                   const WorkerPool& pool, metrics::Objective objective,
+                   uint64_t seed)
+{
+    return [&system, &scenario, &pool, objective,
+            seed](const std::vector<std::pair<double, double>>& pts) {
+        const core::CostFn eval =
+            makeEvaluator(system, scenario, objective, seed);
+        std::vector<double> out(pts.size());
+        pool.parallelFor(pts.size(), [&](size_t i) {
+            out[i] = eval(pts[i].first, pts[i].second);
+        });
+        return out;
+    };
+}
+
+SchedulerSpec
+dreamFixedParamScheduler()
+{
+    SchedulerSpec spec;
+    spec.name = "DREAM-Fixed";
+    spec.make = [](const ParamMap& params) {
+        core::DreamConfig cfg = core::DreamConfig::fixedParams(
+            paramValue(params, "alpha"), paramValue(params, "beta"));
+        cfg.smartDrop = true;
+        return std::unique_ptr<sim::Scheduler>(
+            std::make_unique<core::DreamScheduler>(cfg));
+    };
+    return spec;
+}
+
+SweepGrid
+paramSpaceGrid(hw::SystemPreset system, workload::ScenarioPreset scenario,
+               int n, double window_us, uint64_t seed)
+{
+    assert(n >= 2 && "parameter grid needs at least 2 points per axis");
+    SweepGrid grid;
+    grid.addScenario(scenario)
+        .addSystem(system)
+        .linspaceParam("alpha", 0.0, 2.0, n)
+        .linspaceParam("beta", 0.0, 2.0, n)
+        .seeds({seed})
+        .window(window_us);
+    const SchedulerSpec sched = dreamFixedParamScheduler();
+    grid.addScheduler(sched.name, sched.make);
+    return grid;
+}
+
+ParamOptimum
+bestParams(const std::vector<RunRecord>& records)
+{
+    assert(!records.empty());
+    ParamOptimum best;
+    best.cost = std::numeric_limits<double>::max();
+    for (const auto& r : records) {
+        if (r.uxCost < best.cost) {
+            best.alpha = paramValue(r.params, "alpha");
+            best.beta = paramValue(r.params, "beta");
+            best.cost = r.uxCost;
+        }
+    }
+    return best;
+}
+
+} // namespace engine
+} // namespace dream

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * (alpha, beta) parameter-space evaluation on the sweep engine —
+ * the engine-side home of what bench/search_util.h used to provide
+ * for Figures 3, 10, 11 and 13.
+ *
+ * makeEvaluator() scores a single parameter pair by running a short
+ * fixed-parameter DREAM simulation; makeBatchEvaluator() evaluates a
+ * batch of pairs concurrently on a WorkerPool (feeding
+ * core::ParamSearch's batched optimize()); paramSpaceGrid() declares
+ * the [0, 2]^2 scan of the parameter space as a SweepGrid so the
+ * full grid runs through Engine::run() with any --jobs value.
+ */
+
+#ifndef DREAM_ENGINE_PARAM_EVAL_H
+#define DREAM_ENGINE_PARAM_EVAL_H
+
+#include <vector>
+
+#include "core/adaptivity.h"
+#include "engine/engine.h"
+#include "engine/sweep_grid.h"
+#include "engine/worker_pool.h"
+#include "metrics/uxcost.h"
+
+namespace dream {
+namespace engine {
+
+/** Window used for each parameter evaluation run. */
+constexpr double kSearchWindowUs = 1e6;
+
+/** Default seed of parameter evaluation runs. */
+constexpr uint64_t kSearchSeed = 11;
+
+/**
+ * Cost function over (alpha, beta): the objective of a
+ * fixed-parameter smart-drop DREAM run on (system, scenario).
+ * Captures @p system and @p scenario by reference.
+ */
+core::CostFn
+makeEvaluator(const hw::SystemConfig& system,
+              const workload::Scenario& scenario,
+              metrics::Objective objective = metrics::Objective::UxCost,
+              uint64_t seed = kSearchSeed);
+
+/**
+ * Batched variant: evaluates each pair of a batch concurrently on
+ * @p pool. Results are positionally identical to calling
+ * makeEvaluator()'s function per pair. Captures @p system,
+ * @p scenario and @p pool by reference.
+ */
+core::BatchCostFn
+makeBatchEvaluator(const hw::SystemConfig& system,
+                   const workload::Scenario& scenario,
+                   const WorkerPool& pool,
+                   metrics::Objective objective =
+                       metrics::Objective::UxCost,
+                   uint64_t seed = kSearchSeed);
+
+/**
+ * Scheduler axis of parameter sweeps: fixed-(alpha, beta) DREAM with
+ * smart drop, reading the grid parameters "alpha" and "beta".
+ */
+SchedulerSpec dreamFixedParamScheduler();
+
+/**
+ * The n x n scan of (alpha, beta) in [0, 2]^2 used as the global-
+ * optimum reference of Figures 3, 10 and 11, as an engine grid:
+ * one scenario, one system, dreamFixedParamScheduler(), and
+ * linspace parameter axes "alpha" (outer) and "beta" (inner).
+ */
+SweepGrid paramSpaceGrid(hw::SystemPreset system,
+                         workload::ScenarioPreset scenario, int n,
+                         double window_us = kSearchWindowUs,
+                         uint64_t seed = kSearchSeed);
+
+/** Minimum-UXCost point of a parameter sweep's records. */
+struct ParamOptimum {
+    double alpha = 0.0;
+    double beta = 0.0;
+    double cost = 0.0;
+};
+
+/**
+ * Locate the optimum over @p records (first record wins ties, i.e.
+ * row-major grid order).
+ */
+ParamOptimum bestParams(const std::vector<RunRecord>& records);
+
+} // namespace engine
+} // namespace dream
+
+#endif // DREAM_ENGINE_PARAM_EVAL_H

@@ -1,0 +1,279 @@
+#include "engine/result_sink.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dream {
+namespace engine {
+
+namespace {
+
+std::string
+paramFragment(const ParamMap& params)
+{
+    std::string out;
+    for (const auto& kv : params) {
+        if (!out.empty())
+            out += ',';
+        out += kv.first + '=' + formatValue(kv.second);
+    }
+    return out;
+}
+
+/** Quote a CSV cell if it contains a separator. */
+std::string
+csvCell(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Escape a JSON string value (ASCII control chars + quotes). */
+std::string
+jsonString(const std::string& s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n";  break;
+          case '\t': out += "\\t";  break;
+          default:   out += c;      break;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+RunRecord::cellKey() const
+{
+    std::string out = scenario + '/' + system + '/' + scheduler;
+    const std::string params_frag = paramFragment(params);
+    if (!params_frag.empty())
+        out += '/' + params_frag;
+    return out;
+}
+
+std::string
+RunRecord::key() const
+{
+    return cellKey() + "/seed=" + std::to_string(seed);
+}
+
+// ---------------------------------------------------------------- CSV
+
+CsvSink::CsvSink(std::ostream& out) : out_(&out) {}
+
+CsvSink::CsvSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get())
+{}
+
+CsvSink::~CsvSink()
+{
+    close();
+}
+
+bool
+CsvSink::ok() const
+{
+    return !owned_ || owned_->is_open();
+}
+
+void
+CsvSink::write(const RunRecord& r)
+{
+    if (!headerWritten_) {
+        *out_ << "index,scenario,system,scheduler";
+        for (const auto& kv : r.params)
+            *out_ << ',' << csvCell(kv.first);
+        *out_ << ",seed,window_us,ux_cost,dlv_rate,norm_energy,"
+                 "energy_mj,violation_frac,drop_rate,total_frames,"
+                 "violated_frames,dropped_frames,sched_invocations\n";
+        headerWritten_ = true;
+    }
+    *out_ << r.index << ',' << csvCell(r.scenario) << ','
+          << csvCell(r.system) << ',' << csvCell(r.scheduler);
+    for (const auto& kv : r.params)
+        *out_ << ',' << formatValue(kv.second);
+    *out_ << ',' << r.seed << ',' << formatValue(r.windowUs) << ','
+          << formatValue(r.uxCost) << ',' << formatValue(r.dlvRate)
+          << ',' << formatValue(r.normEnergy) << ','
+          << formatValue(r.energyMj) << ','
+          << formatValue(r.violationFraction) << ','
+          << formatValue(r.dropRate) << ',' << r.totalFrames << ','
+          << r.violatedFrames << ',' << r.droppedFrames << ','
+          << r.schedulerInvocations << '\n';
+}
+
+void
+CsvSink::close()
+{
+    if (out_)
+        out_->flush();
+}
+
+// --------------------------------------------------------------- JSON
+
+JsonSink::JsonSink(std::ostream& out) : out_(&out) {}
+
+JsonSink::JsonSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get())
+{}
+
+JsonSink::~JsonSink()
+{
+    close();
+}
+
+bool
+JsonSink::ok() const
+{
+    return !owned_ || owned_->is_open();
+}
+
+void
+JsonSink::write(const RunRecord& r)
+{
+    *out_ << (opened_ ? ",\n" : "[\n");
+    opened_ = true;
+    *out_ << "  {\"index\": " << r.index
+          << ", \"scenario\": " << jsonString(r.scenario)
+          << ", \"system\": " << jsonString(r.system)
+          << ", \"scheduler\": " << jsonString(r.scheduler)
+          << ", \"params\": {";
+    bool first = true;
+    for (const auto& kv : r.params) {
+        if (!first)
+            *out_ << ", ";
+        first = false;
+        *out_ << jsonString(kv.first) << ": " << formatValue(kv.second);
+    }
+    *out_ << "}, \"seed\": " << r.seed
+          << ", \"window_us\": " << formatValue(r.windowUs)
+          << ", \"ux_cost\": " << formatValue(r.uxCost)
+          << ", \"dlv_rate\": " << formatValue(r.dlvRate)
+          << ", \"norm_energy\": " << formatValue(r.normEnergy)
+          << ", \"energy_mj\": " << formatValue(r.energyMj)
+          << ", \"violation_frac\": "
+          << formatValue(r.violationFraction)
+          << ", \"drop_rate\": " << formatValue(r.dropRate)
+          << ", \"total_frames\": " << r.totalFrames
+          << ", \"violated_frames\": " << r.violatedFrames
+          << ", \"dropped_frames\": " << r.droppedFrames
+          << ", \"sched_invocations\": " << r.schedulerInvocations
+          << "}";
+}
+
+void
+JsonSink::close()
+{
+    if (closed_ || !out_)
+        return;
+    *out_ << (opened_ ? "\n]\n" : "[]\n");
+    out_->flush();
+    closed_ = true;
+}
+
+// ---------------------------------------------------------- aggregate
+
+double
+AggregateSink::percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        std::clamp(pct, 0.0, 100.0) / 100.0 * double(values.size() - 1);
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - double(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+void
+AggregateSink::write(const RunRecord& r)
+{
+    const std::string key = r.cellKey();
+    auto it = cells_.find(key);
+    if (it == cells_.end()) {
+        order_.push_back(key);
+        Samples s;
+        s.scenario = r.scenario;
+        s.system = r.system;
+        s.scheduler = r.scheduler;
+        s.params = r.params;
+        it = cells_.emplace(key, std::move(s)).first;
+    }
+    Samples& s = it->second;
+    s.uxCost.push_back(r.uxCost);
+    s.dlvRate.push_back(r.dlvRate);
+    s.normEnergy.push_back(r.normEnergy);
+    s.energyMj.push_back(r.energyMj);
+    s.violationFraction.push_back(r.violationFraction);
+    s.dropRate.push_back(r.dropRate);
+}
+
+namespace {
+
+AggregateSink::Summary
+summarize(const std::vector<double>& v)
+{
+    AggregateSink::Summary s;
+    if (v.empty())
+        return s;
+    double sum = 0.0;
+    s.min = v.front();
+    s.max = v.front();
+    for (const double x : v) {
+        sum += x;
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+    }
+    s.mean = sum / double(v.size());
+    s.p50 = AggregateSink::percentile(v, 50.0);
+    s.p99 = AggregateSink::percentile(v, 99.0);
+    return s;
+}
+
+} // anonymous namespace
+
+std::vector<AggregateSink::Cell>
+AggregateSink::cells() const
+{
+    std::vector<Cell> out;
+    out.reserve(order_.size());
+    for (const auto& key : order_) {
+        const Samples& s = cells_.at(key);
+        Cell c;
+        c.key = key;
+        c.scenario = s.scenario;
+        c.system = s.system;
+        c.scheduler = s.scheduler;
+        c.params = s.params;
+        c.runs = s.uxCost.size();
+        c.uxCost = summarize(s.uxCost);
+        c.dlvRate = summarize(s.dlvRate);
+        c.normEnergy = summarize(s.normEnergy);
+        c.energyMj = summarize(s.energyMj);
+        c.violationFraction = summarize(s.violationFraction);
+        c.dropRate = summarize(s.dropRate);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+} // namespace engine
+} // namespace dream

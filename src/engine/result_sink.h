@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Result records and sinks of the sweep engine.
+ *
+ * Every grid point produces one RunRecord. The engine delivers
+ * records to sinks in flat-index order after all workers joined, so
+ * sink output is byte-identical for any --jobs value. CsvSink and
+ * JsonSink stream rows to a file/stream; AggregateSink folds records
+ * into per-cell summaries (mean/p50/p99/min/max of UXCost, drop
+ * rate, energy, ...), where a cell is a grid point minus the seed.
+ */
+
+#ifndef DREAM_ENGINE_RESULT_SINK_H
+#define DREAM_ENGINE_RESULT_SINK_H
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/sweep_grid.h"
+
+namespace dream {
+namespace engine {
+
+/** Metrics of one simulated grid point. */
+struct RunRecord {
+    size_t index = 0;
+    std::string scenario;
+    std::string system;
+    std::string scheduler;
+    ParamMap params;
+    uint64_t seed = 0;
+    double windowUs = 0.0;
+
+    double uxCost = 0.0;
+    double dlvRate = 0.0;    ///< sum of per-task DLV rates (Alg. 2)
+    double normEnergy = 0.0; ///< sum of per-task normalised energies
+    double energyMj = 0.0;
+    double violationFraction = 0.0;
+    double dropRate = 0.0;   ///< dropped / total frames
+    uint64_t totalFrames = 0;
+    uint64_t violatedFrames = 0;
+    uint64_t droppedFrames = 0;
+    uint64_t schedulerInvocations = 0;
+
+    /** Grid identity incl. seed (matches SweepGrid::Point::key()). */
+    std::string key() const;
+    /** Grid identity without the seed (the aggregation cell). */
+    std::string cellKey() const;
+};
+
+/** Receives every RunRecord of an engine run, in index order. */
+class ResultSink {
+public:
+    virtual ~ResultSink() = default;
+
+    /** Consume one record. */
+    virtual void write(const RunRecord& record) = 0;
+
+    /** Flush/finalise output. Idempotent; also called by dtors. */
+    virtual void close() {}
+};
+
+/** Streams records as CSV rows (header emitted on first write). */
+class CsvSink : public ResultSink {
+public:
+    /** Write to a caller-owned stream. */
+    explicit CsvSink(std::ostream& out);
+    /** Write to a file (truncates). */
+    explicit CsvSink(const std::string& path);
+    ~CsvSink() override;
+
+    /** False if a file path could not be opened for writing. */
+    bool ok() const;
+
+    void write(const RunRecord& record) override;
+    void close() override;
+
+private:
+    std::unique_ptr<std::ofstream> owned_;
+    std::ostream* out_;
+    bool headerWritten_ = false;
+};
+
+/** Streams records as a JSON array of objects. */
+class JsonSink : public ResultSink {
+public:
+    /** Write to a caller-owned stream. */
+    explicit JsonSink(std::ostream& out);
+    /** Write to a file (truncates). */
+    explicit JsonSink(const std::string& path);
+    ~JsonSink() override;
+
+    /** False if a file path could not be opened for writing. */
+    bool ok() const;
+
+    void write(const RunRecord& record) override;
+    void close() override;
+
+private:
+    std::unique_ptr<std::ofstream> owned_;
+    std::ostream* out_;
+    bool opened_ = false;
+    bool closed_ = false;
+};
+
+/** Per-cell (grid point minus seed) statistical aggregation. */
+class AggregateSink : public ResultSink {
+public:
+    /** Distribution summary of one metric across a cell's seeds. */
+    struct Summary {
+        double mean = 0.0;
+        double p50 = 0.0;
+        double p99 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    /** Aggregated results of one cell. */
+    struct Cell {
+        std::string key;
+        std::string scenario;
+        std::string system;
+        std::string scheduler;
+        ParamMap params;
+        size_t runs = 0;
+        Summary uxCost;
+        Summary dlvRate;
+        Summary normEnergy;
+        Summary energyMj;
+        Summary violationFraction;
+        Summary dropRate;
+    };
+
+    void write(const RunRecord& record) override;
+
+    /** Summarised cells in first-seen (i.e. grid index) order. */
+    std::vector<Cell> cells() const;
+
+    /**
+     * Linear-interpolated percentile of @p values (pct in [0, 100]);
+     * 0 on empty input. Exposed for unit testing.
+     */
+    static double percentile(std::vector<double> values, double pct);
+
+private:
+    struct Samples {
+        std::string scenario, system, scheduler;
+        ParamMap params;
+        std::vector<double> uxCost, dlvRate, normEnergy, energyMj,
+            violationFraction, dropRate;
+    };
+
+    std::vector<std::string> order_;
+    std::unordered_map<std::string, Samples> cells_;
+};
+
+} // namespace engine
+} // namespace dream
+
+#endif // DREAM_ENGINE_RESULT_SINK_H

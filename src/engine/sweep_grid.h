@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Declarative cartesian sweep grids for the experiment engine.
+ *
+ * A SweepGrid is the cross product of four axis families:
+ * scenarios x systems x scheduler factories x free parameters, times
+ * a seed list. Every flat index in [0, size()) decodes to one Point
+ * (seed varies fastest, then the last parameter axis, ... scenario
+ * slowest), so results are addressable and reproducible regardless
+ * of execution order.
+ */
+
+#ifndef DREAM_ENGINE_SWEEP_GRID_H
+#define DREAM_ENGINE_SWEEP_GRID_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/system.h"
+#include "runner/experiment.h"
+#include "sim/scheduler.h"
+#include "workload/scenario.h"
+
+namespace dream {
+namespace engine {
+
+/** Free-parameter values keyed by axis name, in axis order. */
+using ParamMap = std::vector<std::pair<std::string, double>>;
+
+/**
+ * Value of parameter @p name in @p params; throws std::out_of_range
+ * if no such parameter axis exists.
+ */
+double paramValue(const ParamMap& params, const std::string& name);
+
+/**
+ * Deterministic numeric formatting ("%.9g") shared by grid keys and
+ * result sinks, so identical doubles always render identically.
+ */
+std::string formatValue(double v);
+
+/**
+ * Builds a scheduler for one grid point. The factory receives the
+ * point's free-parameter values so parameterised schedulers (e.g.
+ * fixed-(alpha, beta) DREAM) can be swept. Factories run on worker
+ * threads and must be pure (no shared mutable state).
+ */
+using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>(
+    const ParamMap&)>;
+
+/** One named value of the scenario axis. */
+struct ScenarioSpec {
+    std::string name;
+    std::function<workload::Scenario()> make;
+};
+
+/** One named value of the system axis. */
+struct SystemSpec {
+    std::string name;
+    std::function<hw::SystemConfig()> make;
+};
+
+/** One named value of the scheduler axis. */
+struct SchedulerSpec {
+    std::string name;
+    SchedulerFactory make;
+};
+
+/** One free-parameter axis (name + swept values). */
+struct ParamAxis {
+    std::string name;
+    std::vector<double> values;
+};
+
+/** Declarative cartesian experiment grid. */
+class SweepGrid {
+public:
+    /** One fully-decoded grid point. */
+    struct Point {
+        size_t index = 0;
+        std::string scenario;
+        std::string system;
+        std::string scheduler;
+        ParamMap params;
+        uint64_t seed = 0;
+        double windowUs = 0.0;
+
+        // Non-owning factory pointers into the grid (valid while the
+        // grid is alive).
+        const std::function<workload::Scenario()>* makeScenario =
+            nullptr;
+        const std::function<hw::SystemConfig()>* makeSystem = nullptr;
+        const SchedulerFactory* makeScheduler = nullptr;
+
+        /** Stable identity incl. seed, e.g. "VR/4K-2WS/FCFS/seed=11". */
+        std::string key() const;
+        /** Identity without the seed (the aggregation cell). */
+        std::string cellKey() const;
+    };
+
+    /** Add a Table 3 scenario preset. */
+    SweepGrid& addScenario(workload::ScenarioPreset preset,
+                           double cascade_prob = 0.5);
+    /** Add a custom named scenario factory. */
+    SweepGrid& addScenario(std::string name,
+                           std::function<workload::Scenario()> make);
+    /** Add a Table 2 system preset. */
+    SweepGrid& addSystem(hw::SystemPreset preset);
+    /** Add a custom named system factory. */
+    SweepGrid& addSystem(std::string name,
+                         std::function<hw::SystemConfig()> make);
+    /** Add one of the repo's stock schedulers. */
+    SweepGrid& addScheduler(runner::SchedKind kind);
+    /** Add a custom named scheduler factory. */
+    SweepGrid& addScheduler(std::string name, SchedulerFactory make);
+    /** Add a free-parameter axis with explicit values. */
+    SweepGrid& addParam(std::string name, std::vector<double> values);
+    /** Add a free-parameter axis with n evenly spaced values. */
+    SweepGrid& linspaceParam(std::string name, double lo, double hi,
+                             int n);
+    /** Replace the seed list (default: {11}). */
+    SweepGrid& seeds(std::vector<uint64_t> s);
+    /** Set the simulated window (default: runner::kDefaultWindowUs). */
+    SweepGrid& window(double us);
+
+    /** Total number of grid points (0 if any axis is empty). */
+    size_t size() const;
+    /** Decode flat @p index into a Point. */
+    Point point(size_t index) const;
+
+    const std::vector<ScenarioSpec>& scenarios() const
+    {
+        return scenarios_;
+    }
+    const std::vector<SystemSpec>& systems() const { return systems_; }
+    const std::vector<SchedulerSpec>& schedulers() const
+    {
+        return schedulers_;
+    }
+    const std::vector<ParamAxis>& paramAxes() const { return params_; }
+    const std::vector<uint64_t>& seedList() const { return seeds_; }
+    double windowUs() const { return windowUs_; }
+
+private:
+    std::vector<ScenarioSpec> scenarios_;
+    std::vector<SystemSpec> systems_;
+    std::vector<SchedulerSpec> schedulers_;
+    std::vector<ParamAxis> params_;
+    std::vector<uint64_t> seeds_{11};
+    double windowUs_ = runner::kDefaultWindowUs;
+};
+
+} // namespace engine
+} // namespace dream
+
+#endif // DREAM_ENGINE_SWEEP_GRID_H

@@ -1,0 +1,74 @@
+#include "engine/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dream {
+namespace engine {
+
+WorkerPool::WorkerPool(int jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{}
+
+int
+WorkerPool::defaultJobs()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : int(hc);
+}
+
+void
+WorkerPool::parallelFor(size_t n,
+                        const std::function<void(size_t)>& body) const
+{
+    if (n == 0)
+        return;
+
+    const size_t workers =
+        std::min<size_t>(size_t(jobs_), n);
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    const auto worker = [&]() {
+        while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                // Drain the remaining work so peers exit promptly.
+                next.store(n);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w)
+        threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace engine
+} // namespace dream

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A minimal fork-join worker pool for the sweep engine.
+ *
+ * parallelFor() shards an index range across std::threads via an
+ * atomic work counter. Work items must be independent; determinism is
+ * the caller's contract (the engine writes results into a pre-sized
+ * vector by index, so the schedule never affects the output).
+ */
+
+#ifndef DREAM_ENGINE_WORKER_POOL_H
+#define DREAM_ENGINE_WORKER_POOL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace dream {
+namespace engine {
+
+/** Fork-join helper running index ranges on up to N threads. */
+class WorkerPool {
+public:
+    /**
+     * @param jobs  worker count; values <= 0 select
+     *              std::thread::hardware_concurrency().
+     */
+    explicit WorkerPool(int jobs = 1);
+
+    /** Effective worker count (always >= 1). */
+    int jobs() const { return jobs_; }
+
+    /**
+     * Invoke @p body(i) for every i in [0, n). With jobs() == 1 the
+     * loop runs inline on the calling thread (no thread is spawned).
+     * The first exception thrown by any worker is rethrown on the
+     * calling thread after all workers joined.
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t)>& body) const;
+
+    /** Worker count used for jobs <= 0 (hardware concurrency). */
+    static int defaultJobs();
+
+private:
+    int jobs_;
+};
+
+} // namespace engine
+} // namespace dream
+
+#endif // DREAM_ENGINE_WORKER_POOL_H

@@ -53,8 +53,10 @@ struct Plan {
     /**
      * Optional timer: ask the simulator to re-invoke the scheduler at
      * this time even if no arrival/completion event fires (used by
-     * timetable replay and windowed online tuning). Ignored unless
-     * strictly in the future.
+     * timetable replay and windowed online tuning). Honoured only if
+     * strictly in the future; stale (past or present) values are
+     * ignored by Simulator::applyPlan, and wake-ups at or beyond the
+     * window end never fire. Negative means "no timer" (the default).
      */
     double wakeUpUs = -1.0;
 

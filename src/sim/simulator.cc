@@ -247,6 +247,16 @@ Simulator::buildContext()
 bool
 Simulator::applyPlan(const Plan& plan)
 {
+    // Arm the optional re-invocation timer. Contract (sim/scheduler.h):
+    // only a strictly-future wake-up is honoured; stale (past or
+    // present) wake-ups are dropped here, otherwise a scheduler that
+    // keeps requesting one would pin virtual time and the event loop
+    // would never reach the end of the window.
+    if (plan.wakeUpUs > nowUs_)
+        wakeups_.push(plan.wakeUpUs);
+    assert((wakeups_.empty() || wakeups_.top() > nowUs_) &&
+           "stale wake-ups must never be armed");
+
     bool progress = false;
     for (const auto& sw : plan.switches) {
         applySwitch(sw);
@@ -270,8 +280,6 @@ Simulator::invokeScheduler(Scheduler& sched)
         buildContext();
         Plan plan = sched.plan(ctx_);
         stats_.schedulerInvocations += 1;
-        if (plan.wakeUpUs > nowUs_)
-            wakeups_.push(plan.wakeUpUs);
         if (!applyPlan(plan))
             return;
     }

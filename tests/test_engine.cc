@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Sweep engine tests: worker-pool semantics, grid decoding, sink
+ * formatting, percentile aggregation, the --jobs determinism
+ * contract (parallel == serial, byte for byte) and the equivalence
+ * of the engine's parameter grid with the single-point evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/adaptivity.h"
+#include "engine/engine.h"
+#include "engine/param_eval.h"
+#include "engine/result_sink.h"
+#include "engine/worker_pool.h"
+
+namespace dream {
+namespace {
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce)
+{
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits)
+        h.store(0);
+
+    engine::WorkerPool pool(8);
+    pool.parallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, SerialModeRunsInline)
+{
+    engine::WorkerPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1);
+    std::vector<size_t> order;
+    pool.parallelFor(5, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, PropagatesWorkerExceptions)
+{
+    engine::WorkerPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(WorkerPool, NonPositiveJobsSelectsHardwareConcurrency)
+{
+    engine::WorkerPool pool(0);
+    EXPECT_GE(pool.jobs(), 1);
+    EXPECT_EQ(pool.jobs(), engine::WorkerPool::defaultJobs());
+}
+
+TEST(SweepGrid, DecodesIndicesSeedFastest)
+{
+    engine::SweepGrid grid;
+    grid.addScenario("SC", [] { return workload::Scenario{}; })
+        .addSystem("SYS", [] { return hw::SystemConfig{}; })
+        .addScheduler("A", [](const engine::ParamMap&) {
+            return std::unique_ptr<sim::Scheduler>();
+        })
+        .addScheduler("B", [](const engine::ParamMap&) {
+            return std::unique_ptr<sim::Scheduler>();
+        })
+        .addParam("x", {0.0, 1.0, 2.0})
+        .seeds({7, 9})
+        .window(1e5);
+
+    ASSERT_EQ(grid.size(), 2u * 3u * 2u);
+
+    const auto p0 = grid.point(0);
+    EXPECT_EQ(p0.scheduler, "A");
+    EXPECT_EQ(engine::paramValue(p0.params, "x"), 0.0);
+    EXPECT_EQ(p0.seed, 7u);
+    EXPECT_EQ(p0.key(), "SC/SYS/A/x=0/seed=7");
+    EXPECT_EQ(p0.cellKey(), "SC/SYS/A/x=0");
+
+    // Seed varies fastest...
+    EXPECT_EQ(grid.point(1).seed, 9u);
+    EXPECT_EQ(engine::paramValue(grid.point(1).params, "x"), 0.0);
+    // ...then the parameter axis...
+    EXPECT_EQ(engine::paramValue(grid.point(2).params, "x"), 1.0);
+    EXPECT_EQ(grid.point(2).seed, 7u);
+    // ...then the scheduler axis.
+    const auto last = grid.point(grid.size() - 1);
+    EXPECT_EQ(last.scheduler, "B");
+    EXPECT_EQ(engine::paramValue(last.params, "x"), 2.0);
+    EXPECT_EQ(last.seed, 9u);
+    EXPECT_EQ(last.windowUs, 1e5);
+}
+
+TEST(SweepGrid, UnknownParamNameThrows)
+{
+    const engine::ParamMap params = {{"alpha", 1.0}};
+    EXPECT_EQ(engine::paramValue(params, "alpha"), 1.0);
+    EXPECT_THROW(engine::paramValue(params, "beta"),
+                 std::out_of_range);
+}
+
+TEST(SweepGrid, LinspaceHitsEndpoints)
+{
+    engine::SweepGrid grid;
+    grid.linspaceParam("a", 0.0, 2.0, 9);
+    const auto& axis = grid.paramAxes().front();
+    ASSERT_EQ(axis.values.size(), 9u);
+    EXPECT_DOUBLE_EQ(axis.values.front(), 0.0);
+    EXPECT_DOUBLE_EQ(axis.values[4], 1.0);
+    EXPECT_DOUBLE_EQ(axis.values.back(), 2.0);
+}
+
+TEST(AggregateSink, PercentileInterpolatesLinearly)
+{
+    using engine::AggregateSink;
+    EXPECT_EQ(AggregateSink::percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(AggregateSink::percentile({5.0}, 99.0), 5.0);
+    EXPECT_DOUBLE_EQ(
+        AggregateSink::percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(
+        AggregateSink::percentile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(
+        AggregateSink::percentile({1.0, 2.0, 3.0, 4.0}, 100.0), 4.0);
+
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(double(i));
+    EXPECT_DOUBLE_EQ(AggregateSink::percentile(v, 50.0), 50.5);
+    EXPECT_NEAR(AggregateSink::percentile(v, 99.0), 99.01, 1e-12);
+}
+
+namespace {
+
+engine::RunRecord
+syntheticRecord(const std::string& sched, uint64_t seed, double ux)
+{
+    engine::RunRecord r;
+    r.scenario = "sc";
+    r.system = "sys";
+    r.scheduler = sched;
+    r.seed = seed;
+    r.uxCost = ux;
+    r.energyMj = 10.0 * ux;
+    r.totalFrames = 100;
+    r.droppedFrames = seed; // distinct drop rates per seed
+    r.dropRate = double(seed) / 100.0;
+    return r;
+}
+
+} // anonymous namespace
+
+TEST(AggregateSink, GroupsSeedsIntoCells)
+{
+    engine::AggregateSink agg;
+    agg.write(syntheticRecord("A", 1, 1.0));
+    agg.write(syntheticRecord("A", 2, 3.0));
+    agg.write(syntheticRecord("A", 3, 2.0));
+    agg.write(syntheticRecord("B", 1, 10.0));
+
+    const auto cells = agg.cells();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].key, "sc/sys/A");
+    EXPECT_EQ(cells[0].runs, 3u);
+    EXPECT_DOUBLE_EQ(cells[0].uxCost.mean, 2.0);
+    EXPECT_DOUBLE_EQ(cells[0].uxCost.p50, 2.0);
+    EXPECT_DOUBLE_EQ(cells[0].uxCost.min, 1.0);
+    EXPECT_DOUBLE_EQ(cells[0].uxCost.max, 3.0);
+    EXPECT_DOUBLE_EQ(cells[0].dropRate.mean, 0.02);
+    EXPECT_EQ(cells[1].key, "sc/sys/B");
+    EXPECT_EQ(cells[1].runs, 1u);
+    EXPECT_DOUBLE_EQ(cells[1].uxCost.p99, 10.0);
+}
+
+TEST(CsvSink, EmitsHeaderAndRow)
+{
+    engine::RunRecord r = syntheticRecord("A", 11, 1.5);
+    r.index = 4;
+    r.params = {{"alpha", 0.25}};
+    r.windowUs = 1e6;
+
+    std::ostringstream out;
+    {
+        engine::CsvSink sink(out);
+        sink.write(r);
+    }
+    EXPECT_EQ(out.str(),
+              "index,scenario,system,scheduler,alpha,seed,window_us,"
+              "ux_cost,dlv_rate,norm_energy,energy_mj,violation_frac,"
+              "drop_rate,total_frames,violated_frames,dropped_frames,"
+              "sched_invocations\n"
+              "4,sc,sys,A,0.25,11,1000000,1.5,0,0,15,0,0.11,100,0,11,"
+              "0\n");
+}
+
+TEST(JsonSink, EmitsWellFormedArray)
+{
+    std::ostringstream out;
+    {
+        engine::JsonSink sink(out);
+        sink.write(syntheticRecord("A", 1, 1.0));
+        sink.write(syntheticRecord("B", 2, 2.0));
+        sink.close();
+    }
+    const std::string s = out.str();
+    EXPECT_EQ(s.front(), '[');
+    EXPECT_EQ(s.substr(s.size() - 2), "]\n");
+    EXPECT_NE(s.find("\"scheduler\": \"A\""), std::string::npos);
+    EXPECT_NE(s.find("\"scheduler\": \"B\""), std::string::npos);
+    EXPECT_NE(s.find("\"ux_cost\": 2"), std::string::npos);
+}
+
+TEST(JsonSink, EmptyRunYieldsEmptyArray)
+{
+    std::ostringstream out;
+    {
+        engine::JsonSink sink(out);
+        sink.close();
+    }
+    EXPECT_EQ(out.str(), "[]\n");
+}
+
+/** A small but real grid: 2 schedulers x 2 alphas x 2 seeds. */
+engine::SweepGrid
+smallGrid()
+{
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::VrGaming)
+        .addSystem(hw::SystemPreset::Sys4k1Ws2Os)
+        .addScheduler(runner::SchedKind::Fcfs)
+        .addParam("alpha", {0.5, 1.5})
+        .addParam("beta", {1.0})
+        .seeds({1, 2})
+        .window(5e4);
+    const auto dream = engine::dreamFixedParamScheduler();
+    grid.addScheduler(dream.name, dream.make);
+    return grid;
+}
+
+TEST(Engine, ParallelRunsAreByteIdenticalToSerial)
+{
+    const auto grid = smallGrid();
+    ASSERT_EQ(grid.size(), 8u);
+
+    std::ostringstream csv1, csv8;
+    engine::CsvSink sink1(csv1), sink8(csv8);
+    const auto serial = engine::Engine({1}).run(grid, {&sink1});
+    const auto parallel = engine::Engine({8}).run(grid, {&sink8});
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(csv1.str(), csv8.str());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].key(), parallel[i].key());
+        EXPECT_EQ(serial[i].uxCost, parallel[i].uxCost) << i;
+        EXPECT_EQ(serial[i].energyMj, parallel[i].energyMj) << i;
+        EXPECT_EQ(serial[i].totalFrames, parallel[i].totalFrames) << i;
+    }
+}
+
+TEST(Engine, ParamGridMatchesSingleEvaluator)
+{
+    const auto sys_preset = hw::SystemPreset::Sys4k1Ws2Os;
+    const auto sc_preset = workload::ScenarioPreset::VrGaming;
+    const auto grid =
+        engine::paramSpaceGrid(sys_preset, sc_preset, 2);
+    const auto records = engine::Engine({2}).run(grid);
+    ASSERT_EQ(records.size(), 4u);
+
+    const auto system = hw::makeSystem(sys_preset);
+    const auto scenario = workload::makeScenario(sc_preset);
+    const auto eval = engine::makeEvaluator(system, scenario);
+    for (const auto& r : records) {
+        const double a = engine::paramValue(r.params, "alpha");
+        const double b = engine::paramValue(r.params, "beta");
+        EXPECT_DOUBLE_EQ(r.uxCost, eval(a, b)) << r.key();
+    }
+}
+
+TEST(ParamSearch, BatchedOptimizeMatchesSerial)
+{
+    const core::CostFn cost = [](double a, double b) {
+        return (a - 0.7) * (a - 0.7) + (b - 1.3) * (b - 1.3);
+    };
+    engine::WorkerPool pool(4);
+    const core::BatchCostFn batch =
+        [&](const std::vector<std::pair<double, double>>& pts) {
+            std::vector<double> out(pts.size());
+            pool.parallelFor(pts.size(), [&](size_t i) {
+                out[i] = cost(pts[i].first, pts[i].second);
+            });
+            return out;
+        };
+
+    core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
+    const auto serial = search.optimize(cost, 0.2, 1.8);
+    const auto batched = search.optimize(batch, 0.2, 1.8);
+
+    EXPECT_EQ(serial.alpha, batched.alpha);
+    EXPECT_EQ(serial.beta, batched.beta);
+    EXPECT_EQ(serial.cost, batched.cost);
+    EXPECT_EQ(serial.evaluations, batched.evaluations);
+    ASSERT_EQ(serial.trajectory.size(), batched.trajectory.size());
+    for (size_t i = 0; i < serial.trajectory.size(); ++i) {
+        EXPECT_EQ(serial.trajectory[i].alpha,
+                  batched.trajectory[i].alpha);
+        EXPECT_EQ(serial.trajectory[i].cost,
+                  batched.trajectory[i].cost);
+    }
+}
+
+} // namespace
+} // namespace dream
