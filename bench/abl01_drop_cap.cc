@@ -5,41 +5,70 @@
  * frames and evaluates with a 20% cap; this sweep shows how the cap
  * trades the dropped task's frame rate against everyone else's
  * deadlines under heavy load.
+ *
+ * The cap is a free parameter axis of one engine sweep; drop and
+ * violation rates aggregate across all seeds.
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "bench_main.h"
+#include "core/dream_scheduler.h"
+#include "engine/engine.h"
 #include "runner/experiment.h"
 #include "runner/table.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Ws2Os);
-    const auto scenario = workload::makeScenario(
-        workload::ScenarioPreset::VrGaming, 0.99);
+    const auto opts = bench::parseArgs(argc, argv);
+
+    engine::SweepGrid grid;
+    grid.addScenario("VR_Gaming@p0.99",
+                     []() {
+                         return workload::makeScenario(
+                             workload::ScenarioPreset::VrGaming, 0.99);
+                     })
+        .addSystem(hw::SystemPreset::Sys4k1Ws2Os)
+        .addScheduler("DREAM-DropCap",
+                      [](const engine::ParamMap& params) {
+                          const double cap =
+                              engine::paramValue(params, "drop_cap");
+                          auto cfg = core::DreamConfig::full();
+                          cfg.maxDropRate = cap;
+                          cfg.smartDrop = cap > 0.0;
+                          return std::unique_ptr<sim::Scheduler>(
+                              std::make_unique<core::DreamScheduler>(
+                                  cfg));
+                      })
+        .addParam("drop_cap", {0.0, 0.1, 0.2, 0.4, 1.0})
+        .seeds(runner::defaultSeeds())
+        .window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
 
     std::printf("Ablation: max frame-drop rate (VR_Gaming @ 99%% "
-                "cascade on %s)\n\n", system.name.c_str());
-    runner::Table t({"Drop cap", "UXCost", "Violated", "Dropped",
+                "cascade on %s)\n\n",
+                hw::toString(hw::SystemPreset::Sys4k1Ws2Os).c_str());
+    runner::Table t({"Drop cap", "UXCost", "Violated", "Drop rate",
                      "Energy(mJ)"});
-    for (const double cap : {0.0, 0.1, 0.2, 0.4, 1.0}) {
-        auto cfg = core::DreamConfig::full();
-        cfg.maxDropRate = cap;
-        cfg.smartDrop = cap > 0.0;
-        auto sched = runner::makeDream(cfg);
-        const auto agg = runner::runSeeds(system, scenario, *sched,
-                                          runner::kDefaultWindowUs,
-                                          runner::defaultSeeds());
-        uint64_t dropped = 0;
-        for (const auto& ts : agg.lastStats.tasks)
-            dropped += ts.droppedFrames;
-        t.addRow({runner::fmtPct(cap, 0), runner::fmt(agg.uxCost, 4),
-                  runner::fmtPct(agg.violationFraction),
-                  std::to_string(dropped),
-                  runner::fmt(agg.energyMj, 1)});
+    for (const auto& cell : agg.cells()) {
+        t.addRow({runner::fmtPct(
+                      engine::paramValue(cell.params, "drop_cap"), 0),
+                  runner::fmt(cell.uxCost.mean, 4),
+                  runner::fmtPct(cell.violationFraction.mean),
+                  runner::fmtPct(cell.dropRate.mean),
+                  runner::fmt(cell.energyMj.mean, 1)});
     }
     t.print();
     std::printf("\npaper default: up to 2 drops per 10 frames; the "

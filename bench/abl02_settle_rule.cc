@@ -6,42 +6,78 @@
  * the preferred accelerator. settleFactor = 0 disables the rule
  * (pure greedy highest-MapScore dispatch); larger factors tolerate
  * ever worse placements before deferring.
+ *
+ * The factor is a free parameter axis of one engine sweep over both
+ * scenarios and both 4K heterogeneous systems; tables group per
+ * system via the sink layer.
  */
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "bench_main.h"
+#include "core/dream_scheduler.h"
+#include "engine/engine.h"
 #include "runner/experiment.h"
 #include "runner/table.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const auto opts = bench::parseArgs(argc, argv);
+    const std::vector<double> factors = {0.0, 1.5, 2.5, 5.0, 10.0};
+
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::VrGaming)
+        .addScenario(workload::ScenarioPreset::ArSocial)
+        .addSystem(hw::SystemPreset::Sys4k1Ws2Os)
+        .addSystem(hw::SystemPreset::Sys4k1Os2Ws)
+        .addScheduler("DREAM-Settle",
+                      [](const engine::ParamMap& params) {
+                          auto cfg = core::DreamConfig::full();
+                          cfg.settleFactor =
+                              engine::paramValue(params, "settle");
+                          return std::unique_ptr<sim::Scheduler>(
+                              std::make_unique<core::DreamScheduler>(
+                                  cfg));
+                      })
+        .addParam("settle", factors)
+        .seeds(runner::defaultSeeds())
+        .window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+    const auto cells = agg.cells();
+
     std::printf("Ablation: settle-vs-wait rule of the DREAM dispatch "
                 "engine\n\n");
-    for (const auto sys_preset : {hw::SystemPreset::Sys4k1Ws2Os,
-                                  hw::SystemPreset::Sys4k1Os2Ws}) {
-        const auto system = hw::makeSystem(sys_preset);
+    const auto by_system = engine::groupCells(
+        cells, [](const engine::AggregateSink::Cell& c) {
+            return c.system;
+        });
+    for (const auto& group : by_system) {
         runner::Table t({"settleFactor", "VR_Gaming UXCost",
                          "AR_Social UXCost"});
-        for (const double factor : {0.0, 1.5, 2.5, 5.0, 10.0}) {
+        for (const double factor : factors) {
             std::vector<std::string> row{
                 factor == 0.0 ? "off" : runner::fmt(factor, 1)};
-            for (const auto sc :
-                 {workload::ScenarioPreset::VrGaming,
-                  workload::ScenarioPreset::ArSocial}) {
-                auto cfg = core::DreamConfig::full();
-                cfg.settleFactor = factor;
-                auto sched = runner::makeDream(cfg);
-                const auto agg = runner::runSeeds(
-                    system, workload::makeScenario(sc), *sched,
-                    runner::kDefaultWindowUs, runner::defaultSeeds());
-                row.push_back(runner::fmt(agg.uxCost, 4));
+            for (const char* scenario : {"VR_Gaming", "AR_Social"}) {
+                const auto& cell = engine::cellAt(
+                    group.cells, scenario, group.key, "DREAM-Settle",
+                    {{"settle", factor}});
+                row.push_back(runner::fmt(cell.uxCost.mean, 4));
             }
             t.addRow(row);
         }
-        std::printf("== %s ==\n", system.name.c_str());
+        std::printf("== %s ==\n", group.key.c_str());
         t.print();
         std::printf("\n");
     }

@@ -4,36 +4,71 @@
  * each accelerator as divisible into 4 equal slices for Planaria's
  * fission. This sweep varies the granularity and shows its effect on
  * Planaria (which depends on fission) and DREAM (which does not).
+ *
+ * The granularity is a custom system axis of one engine sweep
+ * ("4K-1OS+2WS/s<N>" entries), so the whole ablation runs with
+ * --jobs / --out / --filter.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_main.h"
+#include "engine/engine.h"
 #include "runner/experiment.h"
 #include "runner/table.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const auto scenario =
-        workload::makeScenario(workload::ScenarioPreset::DroneIndoor);
+    const auto opts = bench::parseArgs(argc, argv);
+    const uint32_t slice_counts[] = {1u, 2u, 4u, 8u};
+
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::DroneIndoor);
+    for (const uint32_t slices : slice_counts) {
+        grid.addSystem(
+            hw::toString(hw::SystemPreset::Sys4k1Os2Ws) + "/s" +
+                std::to_string(slices),
+            [slices]() {
+                auto system =
+                    hw::makeSystem(hw::SystemPreset::Sys4k1Os2Ws);
+                for (auto& acc : system.accelerators)
+                    acc.numSlices = slices;
+                return system;
+            });
+    }
+    grid.addScheduler(runner::SchedKind::Planaria)
+        .addScheduler(runner::SchedKind::DreamFull)
+        .seeds(runner::defaultSeeds())
+        .window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+    const auto cells = agg.cells();
 
     std::printf("Ablation: accelerator slice granularity "
                 "(Drone_Indoor)\n\n");
     runner::Table t({"Slices", "Planaria UXCost", "DREAM-Full UXCost"});
-    for (const uint32_t slices : {1u, 2u, 4u, 8u}) {
-        auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Os2Ws);
-        for (auto& acc : system.accelerators)
-            acc.numSlices = slices;
+    for (const uint32_t slices : slice_counts) {
+        const std::string system =
+            hw::toString(hw::SystemPreset::Sys4k1Os2Ws) + "/s" +
+            std::to_string(slices);
         std::vector<std::string> row{std::to_string(slices)};
         for (const auto kind : {runner::SchedKind::Planaria,
                                 runner::SchedKind::DreamFull}) {
-            auto sched = runner::makeScheduler(kind);
-            const auto agg = runner::runSeeds(
-                system, scenario, *sched, runner::kDefaultWindowUs,
-                runner::defaultSeeds());
-            row.push_back(runner::fmt(agg.uxCost, 4));
+            const auto& cell =
+                engine::cellAt(cells, "Drone_Indoor", system,
+                               runner::toString(kind));
+            row.push_back(runner::fmt(cell.uxCost.mean, 4));
         }
         t.addRow(row);
     }

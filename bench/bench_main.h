@@ -3,12 +3,16 @@
  * Shared command-line entry helpers for the bench suite: every bench
  * built on the sweep engine accepts
  *
- *   --jobs N   worker threads (0 = hardware concurrency; default 1)
- *   --out F    stream engine result rows to file F
- *   --json     write --out as a JSON array instead of CSV
+ *   --jobs N      worker threads (0 = hardware concurrency; default 1)
+ *   --out F       stream engine result rows to file F
+ *   --json        write --out as a JSON array instead of CSV
+ *   --list        print every grid point key and exit (no runs)
+ *   --filter S    run only grid points whose key contains S; rows go
+ *                 to stdout as CSV (and to --out), then exit
  *
  * Parallel runs are bit-identical to --jobs 1: the engine orders
- * records by grid index before any sink sees them.
+ * records by grid index before any sink sees them — with and without
+ * --filter.
  */
 
 #ifndef DREAM_BENCH_BENCH_MAIN_H
@@ -16,10 +20,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "engine/engine.h"
 #include "engine/result_sink.h"
 #include "engine/worker_pool.h"
 
@@ -31,16 +37,23 @@ struct Options {
     int jobs = 1;          ///< effective worker count (>= 1)
     std::string out;       ///< result file path; empty = none
     bool json = false;     ///< --out format: JSON instead of CSV
+    std::string filter;    ///< grid-point key substring; empty = all
+    bool list = false;     ///< print grid point keys and exit
 };
 
 inline void
 printUsage(const char* prog)
 {
-    std::printf("usage: %s [--jobs N] [--out FILE [--json]]\n"
-                "  --jobs N   worker threads (0 = all cores; "
+    std::printf("usage: %s [--jobs N] [--out FILE [--json]] "
+                "[--list | --filter S]\n"
+                "  --jobs N    worker threads (0 = all cores; "
                 "default 1)\n"
-                "  --out F    write engine result rows to F\n"
-                "  --json     --out as JSON array instead of CSV\n",
+                "  --out F     write engine result rows to F\n"
+                "  --json      --out as JSON array instead of CSV\n"
+                "  --list      print every grid point key, run "
+                "nothing\n"
+                "  --filter S  run only grid points whose key "
+                "contains S\n",
                 prog);
 }
 
@@ -63,6 +76,10 @@ parseArgs(int argc, char** argv)
             opts.out = argv[++i];
         } else if (arg == "--json") {
             opts.json = true;
+        } else if (arg == "--filter" && i + 1 < argc) {
+            opts.filter = argv[++i];
+        } else if (arg == "--list") {
+            opts.list = true;
         } else if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
             std::exit(0);
@@ -78,11 +95,13 @@ parseArgs(int argc, char** argv)
 }
 
 /** File sink for --out (CSV, or JSON with --json); null without.
+ *  Also null under --list, which runs nothing — opening (and thereby
+ *  truncating) an existing --out file would lose its contents.
  *  Exits with an error if the file cannot be opened for writing. */
 inline std::unique_ptr<engine::ResultSink>
 makeFileSink(const Options& opts)
 {
-    if (opts.out.empty())
+    if (opts.out.empty() || opts.list)
         return nullptr;
     bool ok = true;
     std::unique_ptr<engine::ResultSink> sink;
@@ -113,6 +132,50 @@ sinkList(std::initializer_list<engine::ResultSink*> sinks)
             out.push_back(s);
     }
     return out;
+}
+
+/**
+ * Serve --list / --filter for @p grid (called before the bench's own
+ * full run). With --list, every grid point key is printed and no run
+ * happens. With --filter S, only points whose key contains S run;
+ * their rows stream to stdout as CSV and to @p file_sink. Returns
+ * false when the request was handled (the bench should exit 0), true
+ * when the bench should continue with its full sweep and reporting.
+ *
+ * Benches with several grids call this once per grid with a @p label
+ * prefix on the listed keys; the last call's return value decides.
+ */
+inline bool
+runOrList(const Options& opts, const engine::SweepGrid& grid,
+          engine::ResultSink* file_sink, const char* label = nullptr)
+{
+    if (opts.list) {
+        for (size_t i = 0; i < grid.size(); ++i) {
+            if (label)
+                std::printf("%s: %s\n", label,
+                            grid.point(i).key().c_str());
+            else
+                std::printf("%s\n", grid.point(i).key().c_str());
+        }
+        return false;
+    }
+    if (opts.filter.empty())
+        return true;
+
+    engine::CsvSink stdout_sink(std::cout);
+    engine::Engine eng({opts.jobs});
+    const auto records =
+        eng.run(grid, sinkList({&stdout_sink, file_sink}),
+                [&](const engine::SweepGrid::Point& p) {
+                    return p.key().find(opts.filter) !=
+                           std::string::npos;
+                });
+    stdout_sink.close(); // CSV rows buffer until close
+    std::fprintf(stderr, "%s%s%zu/%zu grid points matched --filter "
+                 "'%s'\n",
+                 label ? label : "", label ? ": " : "", records.size(),
+                 grid.size(), opts.filter.c_str());
+    return false;
 }
 
 } // namespace bench

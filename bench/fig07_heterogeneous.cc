@@ -43,8 +43,11 @@ main(int argc, char** argv)
         grid.addScheduler(kind);
     grid.seeds(runner::defaultSeeds()).window(runner::kDefaultWindowUs);
 
-    engine::AggregateSink agg;
     auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
     engine::Engine eng({opts.jobs});
     eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
 

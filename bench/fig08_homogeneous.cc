@@ -6,39 +6,68 @@
  * the heterogeneous settings (2.20x for Veltair, 1.26x for
  * Planaria), and on compute-resource-sufficient systems (8K) the
  * DREAM variants coincide (drop/Supernet overheads are negligible).
+ *
+ * One engine sweep covers the whole (scenario x system x scheduler x
+ * seed) space; the per-system tables come from the sink layer's
+ * grouping helper.
  */
 
 #include <cstdio>
 #include <map>
 #include <vector>
 
+#include "bench_main.h"
+#include "engine/engine.h"
 #include "runner/experiment.h"
 #include "runner/table.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const auto seeds = runner::defaultSeeds();
+    const auto opts = bench::parseArgs(argc, argv);
     const auto schedulers = runner::evaluationSchedulers();
-    std::map<runner::SchedKind, std::vector<double>> ux_all;
 
-    for (const auto sys_preset : hw::homogeneousPresets()) {
-        const auto system = hw::makeSystem(sys_preset);
-        std::printf("== Figure 8: %s ==\n", system.name.c_str());
+    engine::SweepGrid grid;
+    for (const auto sc_preset : workload::allScenarioPresets())
+        grid.addScenario(sc_preset);
+    for (const auto sys_preset : hw::homogeneousPresets())
+        grid.addSystem(sys_preset);
+    for (const auto kind : schedulers)
+        grid.addScheduler(kind);
+    grid.seeds(runner::defaultSeeds()).window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+    const auto cells = agg.cells();
+
+    std::map<runner::SchedKind, std::vector<double>> ux_all;
+    const auto by_system = engine::groupCells(
+        cells, [](const engine::AggregateSink::Cell& c) {
+            return c.system;
+        });
+    for (const auto& group : by_system) {
+        std::printf("== Figure 8: %s ==\n", group.key.c_str());
         runner::Table ux({"Scenario", "FCFS", "Veltair", "Planaria",
                           "DRM-Map", "DRM-Drop", "DRM-Full"});
-        for (const auto sc_preset : workload::allScenarioPresets()) {
-            const auto scenario = workload::makeScenario(sc_preset);
-            std::vector<std::string> row{toString(sc_preset)};
-            for (const auto kind : schedulers) {
-                auto sched = runner::makeScheduler(kind);
-                const auto agg = runner::runSeeds(
-                    system, scenario, *sched, runner::kDefaultWindowUs,
-                    seeds);
-                row.push_back(runner::fmt(agg.uxCost, 4));
-                ux_all[kind].push_back(agg.uxCost);
+        const auto by_scenario = engine::groupCells(
+            group.cells, [](const engine::AggregateSink::Cell& c) {
+                return c.scenario;
+            });
+        for (const auto& scenario : by_scenario) {
+            std::vector<std::string> row{scenario.key};
+            for (size_t k = 0; k < schedulers.size(); ++k) {
+                const auto& cell = engine::cellAt(
+                    scenario.cells, scenario.key, group.key,
+                    runner::toString(schedulers[k]));
+                row.push_back(runner::fmt(cell.uxCost.mean, 4));
+                ux_all[schedulers[k]].push_back(cell.uxCost.mean);
             }
             ux.addRow(row);
         }

@@ -56,6 +56,19 @@ main(int argc, char** argv)
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
 
+    // --list / --filter address the per-case 7x7 reference grids.
+    if (opts.list || !opts.filter.empty()) {
+        for (const auto preset : {workload::ScenarioPreset::VrGaming,
+                                  workload::ScenarioPreset::ArCall,
+                                  workload::ScenarioPreset::ArSocial}) {
+            const auto grid =
+                engine::paramSpaceGrid(sys_preset, preset, 7);
+            bench::runOrList(opts, grid, file_sink.get(),
+                             workload::toString(preset).c_str());
+        }
+        return 0;
+    }
+
     // Cases (c) and (d) share the AR_Social reference grid: scan each
     // preset once and reuse (also keeps --out free of duplicate rows).
     std::map<workload::ScenarioPreset, engine::ParamOptimum> optima;

@@ -41,6 +41,16 @@ main(int argc, char** argv)
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
 
+    // --list / --filter address the per-case 7x7 reference grids.
+    if (opts.list || !opts.filter.empty()) {
+        for (const auto& c : cases) {
+            const auto grid =
+                engine::paramSpaceGrid(sys_preset, c.preset, 7);
+            bench::runOrList(opts, grid, file_sink.get(), c.name);
+        }
+        return 0;
+    }
+
     std::printf("Figure 11: UXCost vs optimisation step (normalised "
                 "to the step-0 value; gap vs 7x7 grid optimum)\n\n");
     runner::Table t({"Case", "Step0", "Step1", "Step2", "Step3",

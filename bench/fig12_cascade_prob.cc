@@ -7,46 +7,80 @@
  * becoming effective: for AR_Social (99%) on 1WS+2OS,
  * DREAM-SmartDrop reduces UXCost by 48.1% over DREAM-MapScore, and
  * DREAM-Full by a further 65.5%.
+ *
+ * The cascade probability is a scenario axis of one engine sweep
+ * (scenario names carry the "@p" suffix), so the whole figure runs
+ * with --jobs / --out / --filter.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_main.h"
+#include "engine/engine.h"
 #include "runner/experiment.h"
 #include "runner/table.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    const auto seeds = runner::defaultSeeds();
+    const auto opts = bench::parseArgs(argc, argv);
     const double probs[] = {0.5, 0.9, 0.99};
     const workload::ScenarioPreset scenarios[] = {
         workload::ScenarioPreset::VrGaming,
         workload::ScenarioPreset::ArSocial};
     const hw::SystemPreset systems[] = {
         hw::SystemPreset::Sys4k1Ws2Os, hw::SystemPreset::Sys4k1Os2Ws};
+    const auto schedulers = runner::evaluationSchedulers();
+
+    const auto scenarioName = [](workload::ScenarioPreset preset,
+                                 double prob) {
+        return toString(preset) + "@p" + engine::formatValue(prob);
+    };
+
+    engine::SweepGrid grid;
+    for (const auto sc_preset : scenarios) {
+        for (const double prob : probs) {
+            grid.addScenario(scenarioName(sc_preset, prob),
+                             [sc_preset, prob]() {
+                                 return workload::makeScenario(
+                                     sc_preset, prob);
+                             });
+        }
+    }
+    for (const auto sys_preset : systems)
+        grid.addSystem(sys_preset);
+    for (const auto kind : schedulers)
+        grid.addScheduler(kind);
+    grid.seeds(runner::defaultSeeds()).window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+    const auto cells = agg.cells();
 
     for (const auto sys_preset : systems) {
-        const auto system = hw::makeSystem(sys_preset);
+        const std::string system = hw::toString(sys_preset);
         for (const auto sc_preset : scenarios) {
             std::printf("== Figure 12: %s on %s ==\n",
-                        toString(sc_preset).c_str(),
-                        system.name.c_str());
+                        toString(sc_preset).c_str(), system.c_str());
             runner::Table t({"CascadeProb", "FCFS", "Veltair",
                              "Planaria", "DRM-Map", "DRM-Drop",
                              "DRM-Full"});
             for (const double prob : probs) {
-                const auto scenario =
-                    workload::makeScenario(sc_preset, prob);
-                std::vector<std::string> row{
-                    runner::fmtPct(prob, 0)};
-                for (const auto kind : runner::evaluationSchedulers()) {
-                    auto sched = runner::makeScheduler(kind);
-                    const auto agg = runner::runSeeds(
-                        system, scenario, *sched,
-                        runner::kDefaultWindowUs, seeds);
-                    row.push_back(runner::fmt(agg.uxCost, 4));
+                std::vector<std::string> row{runner::fmtPct(prob, 0)};
+                for (const auto kind : schedulers) {
+                    const auto& cell = engine::cellAt(
+                        cells, scenarioName(sc_preset, prob), system,
+                        runner::toString(kind));
+                    row.push_back(runner::fmt(cell.uxCost.mean, 4));
                 }
                 t.addRow(row);
             }

@@ -31,6 +31,13 @@ main(int argc, char** argv)
         workload::ScenarioPreset::ArSocial};
     const double probs[] = {0.5, 0.9};
 
+    if (opts.list || !opts.filter.empty()) {
+        std::fprintf(stderr, "fig13 runs parameter searches, not a "
+                             "sweep grid; --list/--filter do not "
+                             "apply\n");
+        return 0;
+    }
+
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
     size_t row_index = 0;

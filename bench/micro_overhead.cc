@@ -1,22 +1,33 @@
 /**
  * @file
- * Scheduler-overhead microbenchmarks (google-benchmark): the cost of
- * one MapScore evaluation, one full DREAM planning round, the
- * analytical cost model, and cost-table lookups. The paper argues
- * DREAM's scoring is light-weight enough to run at every scheduling
- * event; these numbers quantify that for this implementation.
+ * Scheduler-overhead microbenchmarks: the cost of one MapScore
+ * evaluation, one full DREAM planning round, the analytical cost
+ * model, and cost-table lookups. The paper argues DREAM's scoring is
+ * light-weight enough to run at every scheduling event; these
+ * numbers quantify that for this implementation.
+ *
+ * Two parts: a deterministic engine sweep of per-scheduler
+ * invocation counts (streamed through --out, byte-identical for any
+ * --jobs value), and wall-clock ns/op timing loops printed to stdout
+ * only (timings are inherently run-dependent and stay out of the
+ * result rows).
  */
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "core/dream_scheduler.h"
 #include "core/mapscore.h"
 #include "costmodel/cost_table.h"
 #include "costmodel/layer_cost.h"
+#include "engine/engine.h"
 #include "models/zoo.h"
+#include "runner/experiment.h"
+#include "runner/table.h"
 #include "sim/scheduler.h"
 #include "workload/frame_source.h"
 #include "workload/scenario.h"
@@ -79,73 +90,120 @@ struct ContextFixture {
     }
 };
 
-ContextFixture&
-fixture()
+/** ns per iteration of @p body over @p iters runs. */
+template <typename Body>
+double
+nsPerOp(size_t iters, Body&& body)
 {
-    static ContextFixture f;
-    return f;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iters; ++i)
+        body(i);
+    const auto t1 = std::chrono::steady_clock::now();
+    return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      t1 - t0)
+                      .count()) /
+           double(iters);
 }
 
-void
-BM_MapScoreSingle(benchmark::State& state)
-{
-    auto& f = fixture();
-    core::MapScoreEngine engine(1.0, 1.0);
-    size_t i = 0;
-    for (auto _ : state) {
-        const auto* req = f.ctx.ready[i % f.ctx.ready.size()];
-        const auto s =
-            engine.score(f.ctx, *req, i % f.ctx.numAccels());
-        benchmark::DoNotOptimize(s.mapScore);
-        ++i;
-    }
-}
-BENCHMARK(BM_MapScoreSingle);
-
-void
-BM_DreamPlanRound(benchmark::State& state)
-{
-    auto& f = fixture();
-    core::DreamScheduler sched(core::DreamConfig::full());
-    sched.reset(f.ctx);
-    for (auto _ : state) {
-        auto plan = sched.plan(f.ctx);
-        benchmark::DoNotOptimize(plan.dispatches.size());
-    }
-}
-BENCHMARK(BM_DreamPlanRound);
-
-void
-BM_CostModelEstimate(benchmark::State& state)
-{
-    const auto model = models::zoo::ssdMobileNetV2();
-    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k2Ws);
-    size_t i = 0;
-    for (auto _ : state) {
-        const auto& layer = model.layers[i % model.layers.size()];
-        const auto c =
-            cost::estimateLayer(layer, system.accelerators[0]);
-        benchmark::DoNotOptimize(c.latencyUs);
-        ++i;
-    }
-}
-BENCHMARK(BM_CostModelEstimate);
-
-void
-BM_CostTableLookup(benchmark::State& state)
-{
-    auto& f = fixture();
-    const auto& model = f.scenario.tasks[0].model;
-    size_t i = 0;
-    for (auto _ : state) {
-        const auto& c = f.costs.cost(
-            model.layers[i % model.layers.size()], i % f.system.size());
-        benchmark::DoNotOptimize(c.latencyUs);
-        ++i;
-    }
-}
-BENCHMARK(BM_CostTableLookup);
+volatile double g_side_effect = 0.0;
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    const auto opts = bench::parseArgs(argc, argv);
+
+    // Part 1: deterministic scheduler-invocation accounting through
+    // the engine (one short window per evaluated scheduler).
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::VrGaming)
+        .addSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    for (const auto kind : runner::evaluationSchedulers())
+        grid.addScheduler(kind);
+    grid.seeds({11}).window(5e5);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::Engine eng({opts.jobs});
+    const auto records =
+        eng.run(grid, bench::sinkList({file_sink.get()}));
+
+    std::printf("Scheduler invocations over a %.1f ms VR_Gaming "
+                "window on %s\n\n", 5e5 / 1e3,
+                hw::toString(hw::SystemPreset::Sys4k1Ws2Os).c_str());
+    runner::Table inv({"Scheduler", "Invocations", "Invocations/s",
+                       "Frames"});
+    for (const auto& r : records) {
+        inv.addRow({r.scheduler,
+                    std::to_string(r.schedulerInvocations),
+                    runner::fmt(double(r.schedulerInvocations) /
+                                    (r.windowUs / 1e6), 0),
+                    std::to_string(r.totalFrames)});
+    }
+    inv.print();
+
+    // Part 2: wall-clock timing loops (stdout only; excluded from
+    // --out so result rows stay deterministic).
+    ContextFixture f;
+    runner::Table t({"Microbenchmark", "ns/op"});
+
+    core::MapScoreEngine mapscore(1.0, 1.0);
+    t.addRow({"MapScore single evaluation",
+              runner::fmt(nsPerOp(100000,
+                                  [&](size_t i) {
+                                      const auto* req =
+                                          f.ctx.ready[i %
+                                                      f.ctx.ready.size()];
+                                      const auto s = mapscore.score(
+                                          f.ctx, *req,
+                                          i % f.ctx.numAccels());
+                                      g_side_effect = s.mapScore;
+                                  }),
+                          1)});
+
+    core::DreamScheduler dream(core::DreamConfig::full());
+    dream.reset(f.ctx);
+    t.addRow({"DREAM full planning round",
+              runner::fmt(nsPerOp(5000,
+                                  [&](size_t) {
+                                      auto plan = dream.plan(f.ctx);
+                                      g_side_effect = double(
+                                          plan.dispatches.size());
+                                  }),
+                          1)});
+
+    const auto model = models::zoo::ssdMobileNetV2();
+    t.addRow({"Analytical layer cost estimate",
+              runner::fmt(
+                  nsPerOp(100000,
+                          [&](size_t i) {
+                              const auto& layer =
+                                  model.layers[i % model.layers.size()];
+                              const auto c = cost::estimateLayer(
+                                  layer, f.system.accelerators[0]);
+                              g_side_effect = c.latencyUs;
+                          }),
+                  1)});
+
+    const auto& fixture_model = f.scenario.tasks[0].model;
+    t.addRow({"Cost-table lookup",
+              runner::fmt(
+                  nsPerOp(1000000,
+                          [&](size_t i) {
+                              const auto& c = f.costs.cost(
+                                  fixture_model.layers
+                                      [i % fixture_model.layers.size()],
+                                  i % f.system.size());
+                              g_side_effect = c.latencyUs;
+                          }),
+                  1)});
+
+    std::printf("\n");
+    t.print();
+    std::printf("\ntimings are wall-clock on this host; the CSV rows "
+                "above carry only deterministic counters\n");
+    return 0;
+}

@@ -2,40 +2,90 @@
  * @file
  * Table 2 reproduction: the eight evaluated accelerator systems
  * (sizes, styles, dataflow partitioning) plus the shared memory
- * parameters the paper specifies (8 MiB SRAM, 90 GB/s, 700 MHz).
+ * parameters the paper specifies (8 MiB SRAM, 90 GB/s, 700 MHz),
+ * extended with a measured characterisation sweep: DREAM-Full's
+ * UXCost and violation rate on VR_Gaming per system, grouped into
+ * the paper's homogeneous/heterogeneous halves via the sink layer.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_main.h"
+#include "engine/engine.h"
 #include "hw/system.h"
+#include "runner/experiment.h"
 #include "runner/table.h"
 
 using namespace dream;
 
 int
-main()
+main(int argc, char** argv)
 {
-    std::printf("Table 2: evaluated accelerator hardware settings\n\n");
-    runner::Table t({"System", "Total PEs", "Style",
-                     "Sub-accelerators"});
-    for (const auto preset : hw::allSystemPresets()) {
-        const auto sys = hw::makeSystem(preset);
-        std::string subs;
-        for (const auto& acc : sys.accelerators) {
-            if (!subs.empty())
-                subs += " + ";
-            subs += toString(acc.dataflow) + "(" +
-                    std::to_string(acc.numPes) + ")";
+    const auto opts = bench::parseArgs(argc, argv);
+
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::VrGaming);
+    for (const auto preset : hw::allSystemPresets())
+        grid.addSystem(preset);
+    grid.addScheduler(runner::SchedKind::DreamFull)
+        .seeds(runner::defaultSeeds())
+        .window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+    const auto cells = agg.cells();
+
+    std::printf("Table 2: evaluated accelerator hardware settings\n"
+                "(measured columns: DREAM-Full on VR_Gaming, mean "
+                "across seeds)\n\n");
+    const auto by_style = engine::groupCells(
+        cells, [](const engine::AggregateSink::Cell& c) {
+            // Recover the preset from the cell's system name to
+            // group into the paper's two halves of Table 2.
+            for (const auto preset : hw::allSystemPresets()) {
+                if (hw::toString(preset) == c.system) {
+                    return hw::makeSystem(preset).homogeneous()
+                               ? std::string("Homogeneous")
+                               : std::string("Heterogeneous");
+                }
+            }
+            return std::string("?");
+        });
+    for (const auto& group : by_style) {
+        std::printf("== %s ==\n", group.key.c_str());
+        runner::Table t({"System", "Total PEs", "Sub-accelerators",
+                         "UXCost", "Violated"});
+        for (const auto& cell : group.cells) {
+            hw::SystemConfig sys;
+            for (const auto preset : hw::allSystemPresets()) {
+                if (hw::toString(preset) == cell.system)
+                    sys = hw::makeSystem(preset);
+            }
+            std::string subs;
+            for (const auto& acc : sys.accelerators) {
+                if (!subs.empty())
+                    subs += " + ";
+                subs += toString(acc.dataflow) + "(" +
+                        std::to_string(acc.numPes) + ")";
+            }
+            t.addRow({sys.name, std::to_string(sys.totalPes()), subs,
+                      runner::fmt(cell.uxCost.mean, 4),
+                      runner::fmtPct(cell.violationFraction.mean)});
         }
-        t.addRow({sys.name, std::to_string(sys.totalPes()),
-                  sys.homogeneous() ? "Homogeneous" : "Heterogeneous",
-                  subs});
+        t.print();
+        std::printf("\n");
     }
-    t.print();
 
     const auto probe = hw::makeSystem(hw::SystemPreset::Sys4k2Ws);
     const auto& acc = probe.accelerators.front();
-    std::printf("\nshared parameters: %.0f MiB SRAM, %.0f GB/s "
+    std::printf("shared parameters: %.0f MiB SRAM, %.0f GB/s "
                 "off-chip bandwidth, %.0f MHz clock, %u slices per "
                 "accelerator\n",
                 double(acc.sramBytes) / (1024.0 * 1024.0), acc.dramGbps,

@@ -3,13 +3,19 @@
  * Table 3 reproduction: the five RTMM scenarios with their models,
  * FPS targets and dependencies, extended with each model's size and
  * estimated whole-model latency per accelerator dataflow (the data
- * the paper's scheduler consumes from its offline cost model).
+ * the paper's scheduler consumes from its offline cost model), plus
+ * a measured difficulty sweep: FCFS vs DREAM-Full UXCost per
+ * scenario through the engine.
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_main.h"
 #include "costmodel/cost_table.h"
+#include "engine/engine.h"
 #include "hw/system.h"
+#include "runner/experiment.h"
 #include "runner/table.h"
 #include "workload/scenario.h"
 
@@ -30,8 +36,23 @@ modelLatencyUs(const cost::CostTable& costs, const models::Model& m,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const auto opts = bench::parseArgs(argc, argv);
+
+    engine::SweepGrid grid;
+    for (const auto preset : workload::allScenarioPresets())
+        grid.addScenario(preset);
+    grid.addSystem(hw::SystemPreset::Sys4k1Ws2Os)
+        .addScheduler(runner::SchedKind::Fcfs)
+        .addScheduler(runner::SchedKind::DreamFull)
+        .seeds(runner::defaultSeeds())
+        .window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
     std::printf("Table 3: evaluated real-time workload scenarios\n");
     std::printf("(latency columns: whole-model estimate on a 2K-PE "
                 "accelerator of each dataflow)\n\n");
@@ -86,5 +107,24 @@ main()
         std::printf("aggregate WS-2K-equivalent load: %s\n\n",
                     runner::fmtPct(total_load).c_str());
     }
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+    const auto cells = agg.cells();
+
+    std::printf("== measured scenario difficulty (on %s) ==\n",
+                hw::toString(hw::SystemPreset::Sys4k1Ws2Os).c_str());
+    runner::Table measured({"Scenario", "FCFS UXCost",
+                            "DREAM-Full UXCost", "DREAM reduction"});
+    const auto ratios = engine::schedulerRatios(
+        cells, runner::toString(runner::SchedKind::DreamFull),
+        runner::toString(runner::SchedKind::Fcfs));
+    for (const auto& r : ratios) {
+        measured.addRow({r.scenario, runner::fmt(r.denominator, 4),
+                         runner::fmt(r.numerator, 4),
+                         runner::fmtPct(r.reduction())});
+    }
+    measured.print();
     return 0;
 }

@@ -2,12 +2,17 @@
  * @file
  * Table 4 reproduction (DREAM configuration variants) plus the
  * Table 1 / Table 5 qualitative capability matrix of all implemented
- * schedulers.
+ * schedulers, extended with a measured column per Table 4 row: each
+ * configuration's UXCost on VR_Gaming through one engine sweep.
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_main.h"
 #include "core/dream_config.h"
+#include "engine/engine.h"
+#include "runner/experiment.h"
 #include "runner/table.h"
 #include "sched/traits.h"
 
@@ -24,23 +29,56 @@ mark(bool b)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const auto opts = bench::parseArgs(argc, argv);
+    const runner::SchedKind variants[] = {
+        runner::SchedKind::DreamMapScore,
+        runner::SchedKind::DreamSmartDrop,
+        runner::SchedKind::DreamFull};
+
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::VrGaming)
+        .addSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    for (const auto kind : variants)
+        grid.addScheduler(kind);
+    grid.seeds(runner::defaultSeeds()).window(runner::kDefaultWindowUs);
+
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, grid, file_sink.get()))
+        return 0;
+
+    engine::AggregateSink agg;
+    engine::Engine eng({opts.jobs});
+    eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
+    const auto cells = agg.cells();
+
     std::printf("Table 4: DREAM configurations used in the "
-                "evaluation\n\n");
+                "evaluation\n(measured column: VR_Gaming on %s, mean "
+                "across seeds)\n\n",
+                hw::toString(hw::SystemPreset::Sys4k1Ws2Os).c_str());
     runner::Table t4({"Configuration", "Param optimisation",
-                      "Smart frame drop", "Supernet switching"});
+                      "Smart frame drop", "Supernet switching",
+                      "UXCost"});
     const struct {
-        const char* name;
+        runner::SchedKind kind;
         core::DreamConfig cfg;
     } rows[] = {
-        {"DREAM-MapScore", core::DreamConfig::mapScore()},
-        {"DREAM-SmartDrop", core::DreamConfig::smartDropConfig()},
-        {"DREAM-Full", core::DreamConfig::full()},
+        {runner::SchedKind::DreamMapScore,
+         core::DreamConfig::mapScore()},
+        {runner::SchedKind::DreamSmartDrop,
+         core::DreamConfig::smartDropConfig()},
+        {runner::SchedKind::DreamFull, core::DreamConfig::full()},
     };
     for (const auto& r : rows) {
-        t4.addRow({r.name, mark(r.cfg.paramOptimization),
-                   mark(r.cfg.smartDrop), mark(r.cfg.supernetSwitch)});
+        const auto& cell = engine::cellAt(
+            cells, "VR_Gaming",
+            hw::toString(hw::SystemPreset::Sys4k1Ws2Os),
+            runner::toString(r.kind));
+        t4.addRow({runner::toString(r.kind),
+                   mark(r.cfg.paramOptimization), mark(r.cfg.smartDrop),
+                   mark(r.cfg.supernetSwitch),
+                   runner::fmt(cell.uxCost.mean, 4)});
     }
     t4.print();
 

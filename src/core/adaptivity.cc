@@ -139,8 +139,31 @@ OnlineTuner::fingerprint(const sim::SchedulerContext& ctx) const
 }
 
 void
-OnlineTuner::startRound(const sim::SchedulerContext& ctx,
-                        MapScoreEngine& engine)
+OnlineTuner::setBatchEvaluator(BatchCostFn evaluate)
+{
+    batchEvaluate_ = std::move(evaluate);
+}
+
+void
+OnlineTuner::reset()
+{
+    phase_ = Phase::Idle;
+    radius_ = 0.0;
+    curAlpha_ = config_.alpha;
+    curBeta_ = config_.beta;
+    candidates_.clear();
+    trialIdx_ = 0;
+    trialEndUs_ = -1.0;
+    trialStart_ = sim::RunStats{};
+    lastFingerprint_ = 0;
+    lastViolationFraction_ = 0.0;
+    started_ = false;
+    completedSteps_ = 0;
+    retriggers_ = 0;
+}
+
+void
+OnlineTuner::buildCandidates()
 {
     candidates_.clear();
     const auto add = [this](double pa, double pb) {
@@ -163,6 +186,37 @@ OnlineTuner::startRound(const sim::SchedulerContext& ctx,
     add(curAlpha_ - radius_, curBeta_);
     add(curAlpha_, curBeta_ + radius_);
     add(curAlpha_, curBeta_ - radius_);
+}
+
+void
+OnlineTuner::startRound(const sim::SchedulerContext& ctx,
+                        MapScoreEngine& engine)
+{
+    buildCandidates();
+
+    if (batchEvaluate_) {
+        // Simulation-study path: the candidates of each round are
+        // independent, so evaluate them as one batch (concurrently
+        // on the caller's worker pool) and complete rounds
+        // synchronously until the radius passes the threshold.
+        phase_ = Phase::Trial;
+        while (phase_ == Phase::Trial) {
+            std::vector<std::pair<double, double>> pts;
+            pts.reserve(candidates_.size());
+            for (const auto& c : candidates_)
+                pts.push_back({c.alpha, c.beta});
+            const std::vector<double> costs = batchEvaluate_(pts);
+            assert(costs.size() == pts.size());
+            for (size_t i = 0; i < candidates_.size(); ++i) {
+                candidates_[i].cost = costs[i];
+                candidates_[i].evaluated = true;
+            }
+            finishRound(engine);
+            if (phase_ == Phase::Trial)
+                buildCandidates();
+        }
+        return;
+    }
 
     phase_ = Phase::Trial;
     beginTrial(ctx, engine, 0);
@@ -231,7 +285,7 @@ OnlineTuner::update(const sim::SchedulerContext& ctx,
         lastFingerprint_ = fingerprint(ctx);
         radius_ = config_.initialRadius;
         startRound(ctx, engine);
-        return trialEndUs_;
+        return phase_ == Phase::Trial ? trialEndUs_ : -1.0;
     }
 
     if (phase_ == Phase::Trial) {
@@ -266,7 +320,7 @@ OnlineTuner::update(const sim::SchedulerContext& ctx,
         ++retriggers_;
         radius_ = config_.initialRadius;
         startRound(ctx, engine);
-        return trialEndUs_;
+        return phase_ == Phase::Trial ? trialEndUs_ : -1.0;
     }
     return -1.0;
 }

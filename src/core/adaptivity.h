@@ -125,6 +125,25 @@ public:
     double update(const sim::SchedulerContext& ctx,
                   MapScoreEngine& engine);
 
+    /**
+     * Simulation-study shortcut: when set, each tuning round
+     * evaluates its candidate (alpha, beta) pairs through one
+     * batched call (e.g. engine::makeBatchEvaluator, which runs the
+     * batch concurrently on a worker pool) instead of consuming
+     * consecutive live trial windows. Rounds then complete
+     * synchronously inside update(), shrinking the radius until the
+     * threshold passes — the workload never runs under probe
+     * parameters. Deterministic for any worker count as long as the
+     * evaluator is (the engine's is).
+     */
+    void setBatchEvaluator(BatchCostFn evaluate);
+
+    /**
+     * Return to the initial (not-yet-started) state for a fresh run,
+     * keeping the configuration and any installed batch evaluator.
+     */
+    void reset();
+
     /** True while a tuning round is in flight. */
     bool tuning() const { return phase_ == Phase::Trial; }
     /** Completed tuning rounds (radius shrink steps). */
@@ -140,6 +159,7 @@ private:
         bool evaluated = false;
     };
 
+    void buildCandidates();
     void startRound(const sim::SchedulerContext& ctx,
                     MapScoreEngine& engine);
     void beginTrial(const sim::SchedulerContext& ctx,
@@ -148,6 +168,7 @@ private:
     uint64_t fingerprint(const sim::SchedulerContext& ctx) const;
 
     DreamConfig config_;
+    BatchCostFn batchEvaluate_;
     Phase phase_ = Phase::Idle;
     double radius_ = 0.0;
     double curAlpha_ = 1.0;

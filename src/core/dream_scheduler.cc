@@ -76,7 +76,9 @@ DreamScheduler::reset(const sim::SchedulerContext& ctx)
 {
     (void)ctx;
     engine_.setParams(config_.alpha, config_.beta);
-    tuner_ = OnlineTuner(config_);
+    // Fresh tuner state; a batch evaluator installed for simulation
+    // studies (engine::attachBatchTuner) survives resets.
+    tuner_.reset();
 }
 
 sim::Plan

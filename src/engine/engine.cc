@@ -1,6 +1,9 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
+#include <utility>
 
 #include "costmodel/cost_table.h"
 #include "engine/worker_pool.h"
@@ -58,18 +61,66 @@ fillMetrics(RunRecord& r, const sim::RunStats& stats)
                      ? 0.0
                      : double(r.droppedFrames) / double(r.totalFrames);
     r.schedulerInvocations = stats.schedulerInvocations;
+
+    // Breakdown columns: Supernet variant shares of started frames
+    // (Figure 14). Columns are named after the model so the same
+    // network lines up across scenarios; tasks sharing one Supernet
+    // model within a scenario pool their starts before the shares
+    // are taken.
+    r.breakdown.clear();
+    std::vector<std::pair<std::string, std::vector<uint64_t>>> pooled;
+    for (const auto& task : stats.tasks) {
+        if (task.variantStarts.empty())
+            continue;
+        auto it = std::find_if(
+            pooled.begin(), pooled.end(),
+            [&](const auto& p) { return p.first == task.model; });
+        if (it == pooled.end()) {
+            pooled.push_back({task.model, task.variantStarts});
+            continue;
+        }
+        it->second.resize(
+            std::max(it->second.size(), task.variantStarts.size()));
+        for (size_t i = 0; i < task.variantStarts.size(); ++i)
+            it->second[i] += task.variantStarts[i];
+    }
+    for (const auto& p : pooled) {
+        uint64_t total = 0;
+        for (const uint64_t v : p.second)
+            total += v;
+        for (size_t i = 0; i < p.second.size(); ++i) {
+            r.breakdown.push_back(
+                {p.first + "_v" + std::to_string(i) + "_share",
+                 total == 0 ? 0.0
+                            : double(p.second[i]) / double(total)});
+        }
+    }
 }
 
 std::vector<RunRecord>
 Engine::run(const SweepGrid& grid,
             const std::vector<ResultSink*>& sinks) const
 {
-    const size_t n = grid.size();
-    std::vector<RunRecord> records(n);
+    return run(grid, sinks, PointFilter{});
+}
 
+std::vector<RunRecord>
+Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
+            const PointFilter& select) const
+{
+    const size_t n = grid.size();
+    std::vector<size_t> indices;
+    indices.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (!select || select(grid.point(i)))
+            indices.push_back(i);
+    }
+
+    std::vector<RunRecord> records(indices.size());
     WorkerPool pool(opts_.jobs);
-    pool.parallelFor(
-        n, [&](size_t i) { records[i] = runGridPoint(grid.point(i)); });
+    pool.parallelFor(indices.size(), [&](size_t k) {
+        records[k] = runGridPoint(grid.point(indices[k]));
+    });
 
     for (ResultSink* sink : sinks) {
         if (!sink)

@@ -27,11 +27,15 @@ struct EngineOptions {
     int jobs = 1;
 };
 
+/** Grid-point predicate for subset runs (--filter). */
+using PointFilter = std::function<bool(const SweepGrid::Point&)>;
+
 /** Simulate one grid point in isolation (runs on worker threads). */
 RunRecord runGridPoint(const SweepGrid::Point& point);
 
 /**
- * Fill a record's metric fields from finished run stats (identity
+ * Fill a record's metric fields — including breakdown columns such
+ * as Supernet variant shares — from finished run stats (identity
  * fields — scenario, system, scheduler, params, seed, window — are
  * the caller's). Lets benches that run simulations outside the
  * engine still stream rows through result sinks.
@@ -53,6 +57,17 @@ public:
     std::vector<RunRecord>
     run(const SweepGrid& grid,
         const std::vector<ResultSink*>& sinks = {}) const;
+
+    /**
+     * Execute only the grid points @p select accepts (a null filter
+     * accepts all). Records keep their original grid index but are
+     * returned — and delivered to sinks — compacted in ascending
+     * index order, so a filtered run is byte-identical for any
+     * --jobs value too.
+     */
+    std::vector<RunRecord> run(const SweepGrid& grid,
+                               const std::vector<ResultSink*>& sinks,
+                               const PointFilter& select) const;
 
     int jobs() const { return opts_.jobs; }
 

@@ -43,6 +43,17 @@ makeBatchEvaluator(const hw::SystemConfig& system,
     };
 }
 
+void
+attachBatchTuner(core::DreamScheduler& sched,
+                 const hw::SystemConfig& system,
+                 const workload::Scenario& scenario,
+                 const WorkerPool& pool, metrics::Objective objective,
+                 uint64_t seed)
+{
+    sched.tuner().setBatchEvaluator(
+        makeBatchEvaluator(system, scenario, pool, objective, seed));
+}
+
 SchedulerSpec
 dreamFixedParamScheduler()
 {

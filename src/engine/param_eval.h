@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/adaptivity.h"
+#include "core/dream_scheduler.h"
 #include "engine/engine.h"
 #include "engine/sweep_grid.h"
 #include "engine/worker_pool.h"
@@ -56,6 +57,22 @@ makeBatchEvaluator(const hw::SystemConfig& system,
                    metrics::Objective objective =
                        metrics::Objective::UxCost,
                    uint64_t seed = kSearchSeed);
+
+/**
+ * Install a batched candidate evaluator on @p sched's online tuner
+ * (ROADMAP item "OnlineTuner trial windows reuse the batched
+ * evaluator"): tuning rounds in simulation studies then evaluate
+ * their candidate (alpha, beta) pairs concurrently on @p pool in
+ * forked short runs instead of consuming consecutive live trial
+ * windows. Captures @p system, @p scenario and @p pool by reference.
+ */
+void attachBatchTuner(core::DreamScheduler& sched,
+                      const hw::SystemConfig& system,
+                      const workload::Scenario& scenario,
+                      const WorkerPool& pool,
+                      metrics::Objective objective =
+                          metrics::Objective::UxCost,
+                      uint64_t seed = kSearchSeed);
 
 /**
  * Scheduler axis of parameter sweeps: fixed-(alpha, beta) DREAM with

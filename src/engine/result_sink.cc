@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace dream {
 namespace engine {
@@ -57,6 +59,16 @@ jsonString(const std::string& s)
 
 } // anonymous namespace
 
+double
+RunRecord::breakdownValue(const std::string& name) const
+{
+    for (const auto& kv : breakdown) {
+        if (kv.first == name)
+            return kv.second;
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
 std::string
 RunRecord::cellKey() const
 {
@@ -95,34 +107,64 @@ CsvSink::ok() const
 void
 CsvSink::write(const RunRecord& r)
 {
-    if (!headerWritten_) {
-        *out_ << "index,scenario,system,scheduler";
-        for (const auto& kv : r.params)
-            *out_ << ',' << csvCell(kv.first);
-        *out_ << ",seed,window_us,ux_cost,dlv_rate,norm_energy,"
-                 "energy_mj,violation_frac,drop_rate,total_frames,"
-                 "violated_frames,dropped_frames,sched_invocations\n";
-        headerWritten_ = true;
-    }
-    *out_ << r.index << ',' << csvCell(r.scenario) << ','
-          << csvCell(r.system) << ',' << csvCell(r.scheduler);
-    for (const auto& kv : r.params)
-        *out_ << ',' << formatValue(kv.second);
-    *out_ << ',' << r.seed << ',' << formatValue(r.windowUs) << ','
-          << formatValue(r.uxCost) << ',' << formatValue(r.dlvRate)
-          << ',' << formatValue(r.normEnergy) << ','
-          << formatValue(r.energyMj) << ','
-          << formatValue(r.violationFraction) << ','
-          << formatValue(r.dropRate) << ',' << r.totalFrames << ','
-          << r.violatedFrames << ',' << r.droppedFrames << ','
-          << r.schedulerInvocations << '\n';
+    assert(!flushed_ && "CsvSink reused after close()");
+    pending_.push_back(r);
 }
 
 void
 CsvSink::close()
 {
-    if (out_)
-        out_->flush();
+    if (flushed_ || !out_)
+        return;
+    flushed_ = true;
+
+    // Breakdown header: union over all records, first-seen order
+    // (deterministic — records arrive in grid-index order).
+    std::vector<std::string> breakdown_columns;
+    for (const auto& r : pending_) {
+        for (const auto& kv : r.breakdown) {
+            if (std::find(breakdown_columns.begin(),
+                          breakdown_columns.end(),
+                          kv.first) == breakdown_columns.end())
+                breakdown_columns.push_back(kv.first);
+        }
+    }
+
+    if (!pending_.empty()) {
+        *out_ << "index,scenario,system,scheduler";
+        for (const auto& kv : pending_.front().params)
+            *out_ << ',' << csvCell(kv.first);
+        *out_ << ",seed,window_us,ux_cost,dlv_rate,norm_energy,"
+                 "energy_mj,violation_frac,drop_rate,total_frames,"
+                 "violated_frames,dropped_frames,sched_invocations";
+        for (const auto& name : breakdown_columns)
+            *out_ << ',' << csvCell(name);
+        *out_ << '\n';
+    }
+    for (const auto& r : pending_) {
+        *out_ << r.index << ',' << csvCell(r.scenario) << ','
+              << csvCell(r.system) << ',' << csvCell(r.scheduler);
+        for (const auto& kv : r.params)
+            *out_ << ',' << formatValue(kv.second);
+        *out_ << ',' << r.seed << ',' << formatValue(r.windowUs)
+              << ',' << formatValue(r.uxCost) << ','
+              << formatValue(r.dlvRate) << ','
+              << formatValue(r.normEnergy) << ','
+              << formatValue(r.energyMj) << ','
+              << formatValue(r.violationFraction) << ','
+              << formatValue(r.dropRate) << ',' << r.totalFrames
+              << ',' << r.violatedFrames << ',' << r.droppedFrames
+              << ',' << r.schedulerInvocations;
+        for (const auto& name : breakdown_columns) {
+            const double v = r.breakdownValue(name);
+            *out_ << ',';
+            if (!std::isnan(v))
+                *out_ << formatValue(v);
+        }
+        *out_ << '\n';
+    }
+    pending_.clear();
+    out_->flush();
 }
 
 // --------------------------------------------------------------- JSON
@@ -156,6 +198,14 @@ JsonSink::write(const RunRecord& r)
           << ", \"params\": {";
     bool first = true;
     for (const auto& kv : r.params) {
+        if (!first)
+            *out_ << ", ";
+        first = false;
+        *out_ << jsonString(kv.first) << ": " << formatValue(kv.second);
+    }
+    *out_ << "}, \"breakdown\": {";
+    first = true;
+    for (const auto& kv : r.breakdown) {
         if (!first)
             *out_ << ", ";
         first = false;
@@ -224,6 +274,16 @@ AggregateSink::write(const RunRecord& r)
     s.energyMj.push_back(r.energyMj);
     s.violationFraction.push_back(r.violationFraction);
     s.dropRate.push_back(r.dropRate);
+    for (const auto& kv : r.breakdown) {
+        auto col = std::find_if(
+            s.breakdown.begin(), s.breakdown.end(),
+            [&](const auto& c) { return c.first == kv.first; });
+        if (col == s.breakdown.end()) {
+            s.breakdown.push_back({kv.first, {}});
+            col = std::prev(s.breakdown.end());
+        }
+        col->second.push_back(kv.second);
+    }
 }
 
 namespace {
@@ -270,7 +330,106 @@ AggregateSink::cells() const
         c.energyMj = summarize(s.energyMj);
         c.violationFraction = summarize(s.violationFraction);
         c.dropRate = summarize(s.dropRate);
+        for (const auto& col : s.breakdown)
+            c.breakdown.push_back({col.first, summarize(col.second)});
         out.push_back(std::move(c));
+    }
+    return out;
+}
+
+const AggregateSink::Summary*
+AggregateSink::Cell::breakdownSummary(const std::string& name) const
+{
+    for (const auto& kv : breakdown) {
+        if (kv.first == name)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+// ------------------------------------------------- report helpers
+
+double
+meanUxCost(const AggregateSink::Cell& cell)
+{
+    return cell.uxCost.mean;
+}
+
+std::vector<CellGroup>
+groupCells(const std::vector<AggregateSink::Cell>& cells,
+           const std::function<std::string(const AggregateSink::Cell&)>&
+               key)
+{
+    std::vector<CellGroup> groups;
+    for (const auto& cell : cells) {
+        const std::string k = key(cell);
+        auto it = std::find_if(
+            groups.begin(), groups.end(),
+            [&](const CellGroup& g) { return g.key == k; });
+        if (it == groups.end()) {
+            groups.push_back({k, {}});
+            it = std::prev(groups.end());
+        }
+        it->cells.push_back(cell);
+    }
+    return groups;
+}
+
+const AggregateSink::Cell*
+findCell(const std::vector<AggregateSink::Cell>& cells,
+         const std::string& scenario, const std::string& system,
+         const std::string& scheduler, const ParamMap& params)
+{
+    for (const auto& cell : cells) {
+        if (cell.scenario == scenario && cell.system == system &&
+            cell.scheduler == scheduler &&
+            (params.empty() || cell.params == params)) {
+            return &cell;
+        }
+    }
+    return nullptr;
+}
+
+const AggregateSink::Cell&
+cellAt(const std::vector<AggregateSink::Cell>& cells,
+       const std::string& scenario, const std::string& system,
+       const std::string& scheduler, const ParamMap& params)
+{
+    const auto* cell =
+        findCell(cells, scenario, system, scheduler, params);
+    if (!cell) {
+        std::string key = scenario + '/' + system + '/' + scheduler;
+        for (const auto& kv : params)
+            key += '/' + kv.first + '=' + formatValue(kv.second);
+        throw std::out_of_range("no aggregated cell for " + key);
+    }
+    return *cell;
+}
+
+std::vector<SchedulerRatio>
+schedulerRatios(const std::vector<AggregateSink::Cell>& cells,
+                const std::string& numerator_sched,
+                const std::string& denominator_sched,
+                const CellMetric& metric)
+{
+    std::vector<SchedulerRatio> out;
+    for (const auto& num : cells) {
+        if (num.scheduler != numerator_sched)
+            continue;
+        const auto* den = findCell(cells, num.scenario, num.system,
+                                   denominator_sched, num.params);
+        if (!den)
+            continue;
+        SchedulerRatio r;
+        r.scenario = num.scenario;
+        r.system = num.system;
+        r.params = num.params;
+        r.numerator = metric(num);
+        r.denominator = metric(*den);
+        r.ratio = r.denominator != 0.0
+                      ? r.numerator / r.denominator
+                      : std::numeric_limits<double>::quiet_NaN();
+        out.push_back(std::move(r));
     }
     return out;
 }

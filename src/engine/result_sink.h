@@ -4,10 +4,17 @@
  *
  * Every grid point produces one RunRecord. The engine delivers
  * records to sinks in flat-index order after all workers joined, so
- * sink output is byte-identical for any --jobs value. CsvSink and
- * JsonSink stream rows to a file/stream; AggregateSink folds records
- * into per-cell summaries (mean/p50/p99/min/max of UXCost, drop
- * rate, energy, ...), where a cell is a grid point minus the seed.
+ * sink output is byte-identical for any --jobs value. CsvSink
+ * buffers rows and emits them on close (the header needs the union
+ * of breakdown columns); JsonSink streams rows to a file/stream;
+ * AggregateSink folds records into per-cell summaries
+ * (mean/p50/p99/min/max of UXCost, drop rate, energy, ...), where a
+ * cell is a grid point minus the seed.
+ *
+ * Records additionally carry named breakdown columns (e.g. Supernet
+ * variant shares), and the report helpers at the bottom (groupCells,
+ * findCell, schedulerRatios) turn aggregated cells into the grouped
+ * tables and ratio columns the paper's figures report.
  */
 
 #ifndef DREAM_ENGINE_RESULT_SINK_H
@@ -15,10 +22,12 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/sweep_grid.h"
@@ -47,6 +56,19 @@ struct RunRecord {
     uint64_t droppedFrames = 0;
     uint64_t schedulerInvocations = 0;
 
+    /**
+     * Named breakdown columns beyond the fixed metrics, e.g. the
+     * Supernet variant shares of Figure 14 ("OFA_Supernet_v0_share",
+     * ...). Filled by fillMetrics() from the run's stats; empty for
+     * runs without breakdown-carrying features. CsvSink takes its
+     * breakdown header from the first record; JsonSink emits them as
+     * a per-record object; AggregateSink summarises them per cell.
+     */
+    std::vector<std::pair<std::string, double>> breakdown;
+
+    /** Value of breakdown column @p name; NaN if absent. */
+    double breakdownValue(const std::string& name) const;
+
     /** Grid identity incl. seed (matches SweepGrid::Point::key()). */
     std::string key() const;
     /** Grid identity without the seed (the aggregation cell). */
@@ -65,7 +87,15 @@ public:
     virtual void close() {}
 };
 
-/** Streams records as CSV rows (header emitted on first write). */
+/**
+ * Writes records as CSV rows. Rows are buffered and emitted on
+ * close() (also called by the destructor), because the header's
+ * breakdown columns are the union over all records in first-seen
+ * order — a grid whose first point lacks a breakdown-carrying
+ * feature (e.g. a generated scenario without a Supernet) must not
+ * drop the columns of later points. Records with absent columns get
+ * blank cells, so every row has the same column count.
+ */
 class CsvSink : public ResultSink {
 public:
     /** Write to a caller-owned stream. */
@@ -83,7 +113,8 @@ public:
 private:
     std::unique_ptr<std::ofstream> owned_;
     std::ostream* out_;
-    bool headerWritten_ = false;
+    std::vector<RunRecord> pending_;
+    bool flushed_ = false;
 };
 
 /** Streams records as a JSON array of objects. */
@@ -134,6 +165,11 @@ public:
         Summary energyMj;
         Summary violationFraction;
         Summary dropRate;
+        /** Breakdown columns, summarised per name (record order). */
+        std::vector<std::pair<std::string, Summary>> breakdown;
+
+        /** Summary of breakdown column @p name; nullptr if absent. */
+        const Summary* breakdownSummary(const std::string& name) const;
     };
 
     void write(const RunRecord& record) override;
@@ -153,11 +189,86 @@ private:
         ParamMap params;
         std::vector<double> uxCost, dlvRate, normEnergy, energyMj,
             violationFraction, dropRate;
+        std::vector<std::pair<std::string, std::vector<double>>>
+            breakdown;
     };
 
     std::vector<std::string> order_;
     std::unordered_map<std::string, Samples> cells_;
 };
+
+// ------------------------------------------------- report helpers
+//
+// Small composable views over AggregateSink::cells() that benches use
+// to render grouped tables and scheduler-pair ratio columns without
+// hand-rolled map plumbing.
+
+/** Selects the reported metric of a cell (default: mean UXCost). */
+using CellMetric = std::function<double(const AggregateSink::Cell&)>;
+
+/** The default report metric: the cell's mean UXCost. */
+double meanUxCost(const AggregateSink::Cell& cell);
+
+/** Cells sharing one group key, in first-seen (grid) order. */
+struct CellGroup {
+    std::string key;
+    std::vector<AggregateSink::Cell> cells;
+};
+
+/**
+ * Group @p cells by @p key (e.g. the system name for the per-system
+ * tables of Figures 7/8). Groups and members keep first-seen order,
+ * so output is deterministic for any --jobs value.
+ */
+std::vector<CellGroup>
+groupCells(const std::vector<AggregateSink::Cell>& cells,
+           const std::function<std::string(const AggregateSink::Cell&)>&
+               key);
+
+/**
+ * The cell with the given identity (empty @p params matches any);
+ * nullptr if absent.
+ */
+const AggregateSink::Cell*
+findCell(const std::vector<AggregateSink::Cell>& cells,
+         const std::string& scenario, const std::string& system,
+         const std::string& scheduler, const ParamMap& params = {});
+
+/**
+ * findCell for report code where absence is a bench bug: throws
+ * std::out_of_range naming the missing cell instead of returning
+ * nullptr (so a mismatched grid/report axis fails loudly, not with a
+ * null dereference).
+ */
+const AggregateSink::Cell&
+cellAt(const std::vector<AggregateSink::Cell>& cells,
+       const std::string& scenario, const std::string& system,
+       const std::string& scheduler, const ParamMap& params = {});
+
+/** One scheduler-pair ratio row (numerator / denominator metric). */
+struct SchedulerRatio {
+    std::string scenario;
+    std::string system;
+    ParamMap params;
+    double numerator = 0.0;
+    double denominator = 0.0;
+    double ratio = 0.0;
+
+    /** The relative reduction 1 - ratio (Figure 2's headline). */
+    double reduction() const { return 1.0 - ratio; }
+};
+
+/**
+ * Ratio columns between two scheduler axis values: for every
+ * (scenario, system, params) cell pair present for both schedulers,
+ * metric(@p numerator_sched) / metric(@p denominator_sched), in grid
+ * order. Pairs missing either side are skipped.
+ */
+std::vector<SchedulerRatio>
+schedulerRatios(const std::vector<AggregateSink::Cell>& cells,
+                const std::string& numerator_sched,
+                const std::string& denominator_sched,
+                const CellMetric& metric = meanUxCost);
 
 } // namespace engine
 } // namespace dream

@@ -83,6 +83,24 @@ SweepGrid::addScenario(std::string name,
 }
 
 SweepGrid&
+SweepGrid::addGeneratedScenarios(const workload::ScenarioGenSpec& spec,
+                                 int count, uint64_t seed0)
+{
+    assert(count > 0);
+    // One shared generator: factories run on worker threads, and
+    // ScenarioGenerator::generate is const and stateless, so sharing
+    // is safe. Names come from the generator ("Gen<seed>") so grid
+    // keys, sink rows and --filter all address generated scenarios.
+    auto gen = std::make_shared<workload::ScenarioGenerator>(spec);
+    for (int i = 0; i < count; ++i) {
+        const uint64_t seed = seed0 + uint64_t(i);
+        addScenario("Gen" + std::to_string(seed),
+                    [gen, seed]() { return gen->generate(seed); });
+    }
+    return *this;
+}
+
+SweepGrid&
 SweepGrid::addSystem(hw::SystemPreset preset)
 {
     return addSystem(hw::toString(preset),

@@ -23,6 +23,7 @@
 #include "runner/experiment.h"
 #include "sim/scheduler.h"
 #include "workload/scenario.h"
+#include "workload/scenario_gen.h"
 
 namespace dream {
 namespace engine {
@@ -107,6 +108,14 @@ public:
     /** Add a custom named scenario factory. */
     SweepGrid& addScenario(std::string name,
                            std::function<workload::Scenario()> make);
+    /**
+     * Add @p count randomized scenarios synthesized from @p spec with
+     * seeds seed0, seed0 + 1, ... as scenario axis values ("Gen<k>").
+     * Generation is deterministic per seed, so grids built from the
+     * same (spec, count, seed0) are identical across runs and hosts.
+     */
+    SweepGrid& addGeneratedScenarios(const workload::ScenarioGenSpec& spec,
+                                     int count, uint64_t seed0 = 1);
     /** Add a Table 2 system preset. */
     SweepGrid& addSystem(hw::SystemPreset preset);
     /** Add a custom named system factory. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 namespace dream {
@@ -77,7 +78,7 @@ double
 geomean(const std::vector<double>& values)
 {
     if (values.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     double log_sum = 0.0;
     for (const double v : values)
         log_sum += std::log(std::max(v, 1e-300));

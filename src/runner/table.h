@@ -39,7 +39,9 @@ std::string fmt(double v, int digits = 4);
 /** Format a percentage (0.123 -> "12.3%"). */
 std::string fmtPct(double v, int digits = 1);
 
-/** Geometric mean of positive values (0 on empty input). */
+/** Geometric mean of positive values (NaN on empty input — an empty
+ *  geomean has no identity, and a silent 0 would read as a perfect
+ *  score in lower-is-better tables). */
 double geomean(const std::vector<double>& values);
 
 } // namespace runner

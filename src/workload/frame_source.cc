@@ -4,20 +4,14 @@
 #include <cassert>
 #include <cmath>
 
+#include "workload/rng.h"
+
 namespace dream {
 namespace workload {
 
 namespace {
 
-/** splitmix64: cheap, well-mixed stateless hash chain. */
-uint64_t
-splitmix64(uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
+using rng::splitmix64;
 
 /** Stateless per-frame random stream. */
 class FrameRng {
@@ -28,12 +22,7 @@ public:
     {}
 
     /** Uniform double in [0, 1). */
-    double
-    uniform()
-    {
-        state_ = splitmix64(state_);
-        return double(state_ >> 11) * 0x1.0p-53;
-    }
+    double uniform() { return rng::nextUniform(state_); }
 
 private:
     uint64_t state_;

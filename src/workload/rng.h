@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The workload module's shared deterministic random primitives.
+ * Both frame materialisation (frame_source.cc) and scenario
+ * synthesis (scenario_gen.cc) derive every draw from this splitmix64
+ * hash chain — one definition, so the cross-run / cross-platform
+ * reproducibility contract cannot silently diverge between them.
+ */
+
+#ifndef DREAM_WORKLOAD_RNG_H
+#define DREAM_WORKLOAD_RNG_H
+
+#include <cstdint>
+
+namespace dream {
+namespace workload {
+namespace rng {
+
+/** splitmix64: cheap, well-mixed stateless hash chain. */
+inline uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Advance @p state and return a uniform double in [0, 1). */
+inline double
+nextUniform(uint64_t& state)
+{
+    state = splitmix64(state);
+    return double(state >> 11) * 0x1.0p-53;
+}
+
+} // namespace rng
+} // namespace workload
+} // namespace dream
+
+#endif // DREAM_WORKLOAD_RNG_H

@@ -1,0 +1,166 @@
+#include "workload/scenario_gen.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "models/zoo.h"
+#include "workload/rng.h"
+
+namespace dream {
+namespace workload {
+
+namespace {
+
+/** Deterministic random stream (platform-independent). */
+class GenRng {
+public:
+    explicit GenRng(uint64_t seed) : state_(rng::splitmix64(seed)) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return rng::nextUniform(state_); }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). */
+    size_t
+    index(size_t n)
+    {
+        assert(n > 0);
+        return size_t(uniform() * double(n)) % n;
+    }
+
+private:
+    uint64_t state_;
+};
+
+/** The full model zoo as a pool. */
+std::vector<models::Model>
+zooPool()
+{
+    using namespace models::zoo;
+    return {fbnetC(),       ssdMobileNetV2(), handPoseNet(),
+            ofaSupernet(),  kwsRes8(),        gnmt(),
+            skipNet(),      trailNet(),       sosNet(),
+            rapidRl(),      googLeNetCar(),   focalLengthDepth(),
+            edTcn(),        vggVoxCeleb()};
+}
+
+/** Standard camera/display/audio frame rates within [lo, hi]. */
+std::vector<double>
+standardRates(double lo, double hi)
+{
+    std::vector<double> out;
+    for (const double fps : {5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0,
+                             90.0, 120.0}) {
+        if (fps >= lo && fps <= hi)
+            out.push_back(fps);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+ScenarioGenerator::ScenarioGenerator(ScenarioGenSpec spec)
+    : spec_(std::move(spec))
+{
+    assert(spec_.minTasks >= 1 && spec_.minTasks <= spec_.maxTasks);
+    assert(spec_.minFps > 0.0 && spec_.minFps <= spec_.maxFps);
+    if (spec_.pool.empty())
+        spec_.pool = zooPool();
+}
+
+Scenario
+ScenarioGenerator::generate(uint64_t seed) const
+{
+    GenRng rng(seed);
+    Scenario s;
+    s.name = "Gen" + std::to_string(seed);
+
+    const int span = spec_.maxTasks - spec_.minTasks + 1;
+    const int n_tasks = spec_.minTasks + int(rng.index(size_t(span)));
+
+    auto rates = standardRates(spec_.minFps, spec_.maxFps);
+    if (rates.empty())
+        rates.push_back(spec_.minFps);
+
+    for (int i = 0; i < n_tasks; ++i) {
+        TaskSpec t;
+        t.model = spec_.pool[rng.index(spec_.pool.size())];
+        t.fps = rates[rng.index(rates.size())];
+        // Dependencies only point at earlier tasks, so the dependency
+        // graph is a forest by construction (chains and trees arise
+        // from several tasks picking the same or chained parents).
+        if (i > 0 && rng.uniform() < spec_.chainProb) {
+            t.dependsOn = TaskId(rng.index(size_t(i)));
+            t.triggerProb = rng.uniform(spec_.minTriggerProb,
+                                        spec_.maxTriggerProb);
+        }
+        if (rng.uniform() < spec_.activationProb) {
+            t.startUs = rng.uniform(0.0, 0.5 * spec_.horizonUs);
+            t.endUs = t.startUs +
+                      rng.uniform(0.25, 0.75) * spec_.horizonUs;
+        }
+        s.tasks.push_back(std::move(t));
+    }
+
+    assert(validateScenario(s));
+    return s;
+}
+
+bool
+validateScenario(const Scenario& scenario, std::string* error)
+{
+    const auto fail = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return false;
+    };
+
+    if (scenario.tasks.empty())
+        return fail("scenario has no tasks");
+
+    const TaskId n = TaskId(scenario.tasks.size());
+    for (TaskId t = 0; t < n; ++t) {
+        const auto& spec = scenario.tasks[t];
+        const std::string where =
+            "task " + std::to_string(t) + " (" + spec.model.name + ")";
+        if (!(spec.fps > 0.0) || !std::isfinite(spec.fps))
+            return fail(where + ": fps must be finite and > 0");
+        if (spec.model.layers.empty())
+            return fail(where + ": model has no layers");
+        if (spec.dependsOn != kNoParent &&
+            (spec.dependsOn < 0 || spec.dependsOn >= n))
+            return fail(where + ": dependency out of range");
+        if (spec.dependsOn == t)
+            return fail(where + ": depends on itself");
+        if (!(spec.triggerProb >= 0.0 && spec.triggerProb <= 1.0))
+            return fail(where + ": trigger probability outside [0,1]");
+        if (!(spec.startUs < spec.endUs))
+            return fail(where + ": empty activation window");
+        if (spec.startUs < 0.0)
+            return fail(where + ": negative activation start");
+    }
+
+    // Acyclic: follow each task's parent chain; any chain longer than
+    // the task count must contain a cycle.
+    for (TaskId t = 0; t < n; ++t) {
+        TaskId cur = t;
+        for (TaskId hops = 0; scenario.tasks[cur].dependsOn != kNoParent;
+             ++hops) {
+            cur = scenario.tasks[cur].dependsOn;
+            if (hops >= n) {
+                return fail("dependency cycle through task " +
+                            std::to_string(t));
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace workload
+} // namespace dream

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Randomized RTMM scenario synthesis: a seeded generator that builds
+ * Scenario instances (task count, model mix from the zoo, fps
+ * distribution, chain/tree dependency shapes, trigger probabilities,
+ * activation windows) behind a declarative ScenarioGenSpec. Generated
+ * scenarios stress schedulers far beyond the five Table 3 presets,
+ * and plug directly into the sweep engine as a grid axis (see
+ * engine::SweepGrid::addGeneratedScenarios).
+ */
+
+#ifndef DREAM_WORKLOAD_SCENARIO_GEN_H
+#define DREAM_WORKLOAD_SCENARIO_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace dream {
+namespace workload {
+
+/**
+ * Distribution bounds for randomized scenario synthesis. The
+ * defaults produce mixes comparable in size and load to the Table 3
+ * presets (2-8 tasks, standard camera/display frame rates, mostly
+ * shallow dependency trees, occasional activation windows).
+ */
+struct ScenarioGenSpec {
+    /** Task count range (inclusive). */
+    int minTasks = 2;
+    int maxTasks = 8;
+    /** FPS targets are drawn from the standard rates within range. */
+    double minFps = 5.0;
+    double maxFps = 60.0;
+    /** P(a non-first task depends on an earlier task). */
+    double chainProb = 0.45;
+    /** Trigger-probability range of dependent (cascade) tasks. */
+    double minTriggerProb = 0.3;
+    double maxTriggerProb = 1.0;
+    /** P(a task is active only inside a window, task dynamicity). */
+    double activationProb = 0.2;
+    /** Horizon used to size activation windows (microseconds). */
+    double horizonUs = 2e6;
+    /**
+     * Model pool to draw from; empty selects the full zoo (all
+     * fourteen Table 3 networks, including the dynamic ones).
+     */
+    std::vector<models::Model> pool;
+};
+
+/**
+ * Seeded deterministic scenario generator.
+ *
+ * generate(seed) is a pure function of (spec, seed): the same seed
+ * always yields the identical scenario (names, models, fps values,
+ * dependency edges, trigger probabilities, activation windows), on
+ * every platform — randomness comes from a splitmix64 hash chain,
+ * never from implementation-defined std distributions.
+ */
+class ScenarioGenerator {
+public:
+    explicit ScenarioGenerator(ScenarioGenSpec spec = {});
+
+    /** Synthesize the scenario of @p seed (named "Gen<seed>"). */
+    Scenario generate(uint64_t seed) const;
+
+    /** The spec in effect (pool populated). */
+    const ScenarioGenSpec& spec() const { return spec_; }
+
+private:
+    ScenarioGenSpec spec_;
+};
+
+/**
+ * Validity check every generated scenario must pass (and every
+ * hand-written one should): non-empty task list, finite fps > 0,
+ * in-range dependency edges forming a forest (acyclic, no
+ * self-dependency), trigger probabilities in [0, 1], and activation
+ * windows with start < end. On failure returns false and, when
+ * @p error is non-null, stores a description of the first violation.
+ */
+bool validateScenario(const Scenario& scenario,
+                      std::string* error = nullptr);
+
+} // namespace workload
+} // namespace dream
+
+#endif // DREAM_WORKLOAD_SCENARIO_GEN_H

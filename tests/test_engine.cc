@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -282,6 +284,220 @@ TEST(Engine, ParamGridMatchesSingleEvaluator)
         const double b = engine::paramValue(r.params, "beta");
         EXPECT_DOUBLE_EQ(r.uxCost, eval(a, b)) << r.key();
     }
+}
+
+TEST(Engine, FilteredRunSelectsMatchingPointsDeterministically)
+{
+    const auto grid = smallGrid();
+    const auto filter = [](const engine::SweepGrid::Point& p) {
+        return p.key().find("seed=1") != std::string::npos;
+    };
+
+    std::ostringstream csv1, csv4;
+    engine::CsvSink sink1(csv1), sink4(csv4);
+    const auto serial =
+        engine::Engine({1}).run(grid, {&sink1}, filter);
+    const auto parallel =
+        engine::Engine({4}).run(grid, {&sink4}, filter);
+
+    ASSERT_EQ(serial.size(), 4u); // half of the 8 points
+    EXPECT_EQ(csv1.str(), csv4.str());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].seed, 1u);
+        EXPECT_EQ(serial[i].key(), parallel[i].key());
+        EXPECT_EQ(serial[i].uxCost, parallel[i].uxCost);
+    }
+    // Original grid indices are preserved and ascending.
+    for (size_t i = 1; i < serial.size(); ++i)
+        EXPECT_GT(serial[i].index, serial[i - 1].index);
+
+    // A null filter matches the unfiltered overload.
+    const auto all =
+        engine::Engine({1}).run(grid, {}, engine::PointFilter{});
+    EXPECT_EQ(all.size(), grid.size());
+}
+
+TEST(Engine, SupernetRunsCarryVariantShareBreakdown)
+{
+    // VR_Gaming carries the OFA Supernet; DREAM-Full may switch
+    // variants, and even without switches the share columns exist.
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::VrGaming)
+        .addSystem(hw::SystemPreset::Sys4k1Ws2Os)
+        .addScheduler(runner::SchedKind::DreamFull)
+        .seeds({11})
+        .window(1e5);
+    const auto records = engine::Engine({1}).run(grid);
+    ASSERT_EQ(records.size(), 1u);
+    const auto& r = records[0];
+    ASSERT_FALSE(r.breakdown.empty());
+    double share_sum = 0.0;
+    for (const auto& kv : r.breakdown) {
+        EXPECT_NE(kv.first.find("_share"), std::string::npos);
+        EXPECT_GE(kv.second, 0.0);
+        EXPECT_LE(kv.second, 1.0);
+        share_sum += kv.second;
+    }
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+    EXPECT_TRUE(std::isnan(r.breakdownValue("no_such_column")));
+}
+
+TEST(CsvSink, BreakdownColumnsAreTheUnionOverAllRecords)
+{
+    engine::RunRecord with = syntheticRecord("A", 1, 1.0);
+    with.breakdown = {{"net_v0_share", 0.75}, {"net_v1_share", 0.25}};
+    engine::RunRecord without = syntheticRecord("B", 2, 2.0);
+
+    std::ostringstream out;
+    {
+        engine::CsvSink sink(out);
+        // The record lacking breakdown columns comes FIRST: the
+        // header must still carry the union (a grid whose first
+        // point has no Supernet must not drop later points' shares).
+        sink.write(without);
+        sink.write(with);
+    }
+    const std::string s = out.str();
+    EXPECT_NE(s.find(",net_v0_share,net_v1_share\n"),
+              std::string::npos);
+    EXPECT_NE(s.find(",0.75,0.25\n"), std::string::npos);
+    EXPECT_NE(s.find(",,\n"), std::string::npos);
+    // Every row has the same column count.
+    size_t header_commas = 0, row_commas = std::string::npos;
+    std::istringstream lines(s);
+    std::string line;
+    std::getline(lines, line);
+    header_commas = size_t(std::count(line.begin(), line.end(), ','));
+    while (std::getline(lines, line)) {
+        row_commas = size_t(std::count(line.begin(), line.end(), ','));
+        EXPECT_EQ(row_commas, header_commas) << line;
+    }
+}
+
+TEST(AggregateSink, SummarisesBreakdownColumnsPerCell)
+{
+    engine::AggregateSink agg;
+    engine::RunRecord a = syntheticRecord("A", 1, 1.0);
+    a.breakdown = {{"net_v0_share", 0.8}};
+    engine::RunRecord b = syntheticRecord("A", 2, 2.0);
+    b.breakdown = {{"net_v0_share", 0.4}};
+    agg.write(a);
+    agg.write(b);
+    const auto cells = agg.cells();
+    ASSERT_EQ(cells.size(), 1u);
+    const auto* summary = cells[0].breakdownSummary("net_v0_share");
+    ASSERT_NE(summary, nullptr);
+    EXPECT_DOUBLE_EQ(summary->mean, 0.6);
+    EXPECT_DOUBLE_EQ(summary->min, 0.4);
+    EXPECT_DOUBLE_EQ(summary->max, 0.8);
+    EXPECT_EQ(cells[0].breakdownSummary("nope"), nullptr);
+}
+
+TEST(ReportHelpers, GroupFindAndRatioCells)
+{
+    engine::AggregateSink agg;
+    const auto rec = [](const char* sys, const char* sched,
+                        double ux, double viol) {
+        engine::RunRecord r;
+        r.scenario = "sc";
+        r.system = sys;
+        r.scheduler = sched;
+        r.seed = 11;
+        r.uxCost = ux;
+        r.violationFraction = viol;
+        return r;
+    };
+    agg.write(rec("S1", "Base", 2.0, 0.5));
+    agg.write(rec("S1", "New", 1.0, 0.2));
+    agg.write(rec("S2", "Base", 4.0, 0.8));
+    agg.write(rec("S2", "New", 3.0, 0.4));
+    const auto cells = agg.cells();
+
+    const auto groups = engine::groupCells(
+        cells, [](const engine::AggregateSink::Cell& c) {
+            return c.system;
+        });
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].key, "S1");
+    EXPECT_EQ(groups[0].cells.size(), 2u);
+    EXPECT_EQ(groups[1].key, "S2");
+
+    const auto* found = engine::findCell(cells, "sc", "S2", "New");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->uxCost.mean, 3.0);
+    EXPECT_EQ(engine::findCell(cells, "sc", "S3", "New"), nullptr);
+
+    const auto ratios = engine::schedulerRatios(cells, "New", "Base");
+    ASSERT_EQ(ratios.size(), 2u);
+    EXPECT_EQ(ratios[0].system, "S1");
+    EXPECT_DOUBLE_EQ(ratios[0].ratio, 0.5);
+    EXPECT_DOUBLE_EQ(ratios[0].reduction(), 0.5);
+    EXPECT_DOUBLE_EQ(ratios[1].ratio, 0.75);
+
+    const auto viol_ratios = engine::schedulerRatios(
+        cells, "New", "Base",
+        [](const engine::AggregateSink::Cell& c) {
+            return c.violationFraction.mean;
+        });
+    ASSERT_EQ(viol_ratios.size(), 2u);
+    EXPECT_DOUBLE_EQ(viol_ratios[0].ratio, 0.4);
+}
+
+TEST(SweepGrid, GeneratedScenarioAxisIsDeterministic)
+{
+    workload::ScenarioGenSpec spec;
+    spec.minTasks = 2;
+    spec.maxTasks = 3;
+
+    const auto build = [&spec]() {
+        engine::SweepGrid grid;
+        grid.addGeneratedScenarios(spec, 3, 7)
+            .addSystem(hw::SystemPreset::Sys4k1Ws2Os)
+            .addScheduler(runner::SchedKind::Fcfs)
+            .seeds({11})
+            .window(5e4);
+        return grid;
+    };
+
+    const auto grid = build();
+    ASSERT_EQ(grid.size(), 3u);
+    EXPECT_EQ(grid.point(0).scenario, "Gen7");
+    EXPECT_EQ(grid.point(2).scenario, "Gen9");
+
+    // Two independently built grids simulate identically.
+    const auto r1 = engine::Engine({1}).run(build());
+    const auto r2 = engine::Engine({4}).run(build());
+    ASSERT_EQ(r1.size(), r2.size());
+    for (size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].key(), r2[i].key());
+        EXPECT_EQ(r1[i].uxCost, r2[i].uxCost) << i;
+        EXPECT_EQ(r1[i].totalFrames, r2[i].totalFrames) << i;
+    }
+}
+
+TEST(OnlineTuner, BatchEvaluatorCompletesRoundsSynchronously)
+{
+    // AR_Call: the lightest preset — each candidate evaluation forks
+    // a full search-window simulation, so keep the workload small.
+    const auto system = hw::makeSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    const auto scenario =
+        workload::makeScenario(workload::ScenarioPreset::ArCall);
+
+    const auto run = [&](int jobs) {
+        engine::WorkerPool pool(jobs);
+        core::DreamScheduler sched(core::DreamConfig::full());
+        engine::attachBatchTuner(sched, system, scenario, pool);
+        const auto r =
+            runner::runOnce(system, scenario, sched, 1e5, 11);
+        // All rounds completed inside the first update: the radius
+        // shrank below the threshold without live trial windows.
+        EXPECT_GT(sched.tuner().completedSteps(), 0);
+        EXPECT_FALSE(sched.tuner().tuning());
+        return r.uxCost;
+    };
+
+    // Concurrent candidate evaluation is bit-identical to serial.
+    EXPECT_EQ(run(1), run(4));
 }
 
 TEST(ParamSearch, BatchedOptimizeMatchesSerial)

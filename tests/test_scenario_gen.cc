@@ -1,0 +1,166 @@
+/**
+ * @file
+ * ScenarioGenerator tests: seeded determinism (same seed => the
+ * identical scenario down to names, fps values and dependency
+ * edges), seed diversity (different seeds => distinct mixes), spec
+ * bounds, and the validity contract (every generated scenario passes
+ * validateScenario; hand-built invalid scenarios fail it with a
+ * reason).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "models/zoo.h"
+#include "workload/scenario_gen.h"
+
+namespace dream {
+namespace {
+
+std::string
+fingerprint(const workload::Scenario& s)
+{
+    std::string out = s.name;
+    for (const auto& t : s.tasks) {
+        out += '|' + t.model.name + '/' + std::to_string(t.fps) + '/' +
+               std::to_string(t.dependsOn) + '/' +
+               std::to_string(t.triggerProb) + '/' +
+               std::to_string(t.startUs) + '/' +
+               std::to_string(t.endUs);
+    }
+    return out;
+}
+
+TEST(ScenarioGenerator, SameSeedYieldsIdenticalScenario)
+{
+    workload::ScenarioGenerator gen;
+    for (const uint64_t seed : {1ull, 7ull, 42ull, 1234567ull}) {
+        const auto a = gen.generate(seed);
+        const auto b = gen.generate(seed);
+        EXPECT_EQ(fingerprint(a), fingerprint(b)) << "seed " << seed;
+        EXPECT_EQ(a.name, "Gen" + std::to_string(seed));
+        // A fresh generator with the same spec agrees too.
+        workload::ScenarioGenerator other;
+        EXPECT_EQ(fingerprint(other.generate(seed)), fingerprint(a));
+    }
+}
+
+TEST(ScenarioGenerator, DifferentSeedsYieldDistinctMixes)
+{
+    workload::ScenarioGenerator gen;
+    std::set<std::string> prints;
+    constexpr int kSeeds = 50;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed)
+        prints.insert(fingerprint(gen.generate(seed)));
+    // Task bodies must differ, not just the "Gen<seed>" names.
+    std::set<std::string> bodies;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        auto s = gen.generate(seed);
+        s.name.clear();
+        bodies.insert(fingerprint(s));
+    }
+    EXPECT_EQ(prints.size(), size_t(kSeeds));
+    EXPECT_GT(bodies.size(), size_t(kSeeds) * 9 / 10);
+}
+
+TEST(ScenarioGenerator, GeneratedScenariosAreValidAndInBounds)
+{
+    workload::ScenarioGenSpec spec;
+    spec.minTasks = 3;
+    spec.maxTasks = 5;
+    spec.minFps = 10.0;
+    spec.maxFps = 30.0;
+    workload::ScenarioGenerator gen(spec);
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        const auto s = gen.generate(seed);
+        std::string why;
+        EXPECT_TRUE(workload::validateScenario(s, &why))
+            << "seed " << seed << ": " << why;
+        EXPECT_GE(s.tasks.size(), 3u);
+        EXPECT_LE(s.tasks.size(), 5u);
+        for (const auto& t : s.tasks) {
+            EXPECT_GE(t.fps, 10.0);
+            EXPECT_LE(t.fps, 30.0);
+            EXPECT_GT(t.fps, 0.0);
+            if (t.dependsOn != workload::kNoParent) {
+                // Forest edges always point at earlier tasks.
+                EXPECT_LT(t.dependsOn,
+                          workload::TaskId(&t - s.tasks.data()));
+            }
+        }
+    }
+}
+
+TEST(ScenarioGenerator, CustomPoolRestrictsModels)
+{
+    workload::ScenarioGenSpec spec;
+    spec.pool = {models::zoo::kwsRes8(), models::zoo::fbnetC()};
+    const std::string kws = models::zoo::kwsRes8().name;
+    const std::string fbnet = models::zoo::fbnetC().name;
+    workload::ScenarioGenerator gen(spec);
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        for (const auto& t : gen.generate(seed).tasks) {
+            EXPECT_TRUE(t.model.name == kws || t.model.name == fbnet)
+                << t.model.name;
+        }
+    }
+}
+
+TEST(ValidateScenario, RejectsInvalidScenarios)
+{
+    std::string why;
+
+    workload::Scenario empty;
+    EXPECT_FALSE(workload::validateScenario(empty, &why));
+    EXPECT_NE(why.find("no tasks"), std::string::npos);
+
+    const auto base = workload::ScenarioGenerator().generate(1);
+
+    auto bad_fps = base;
+    bad_fps.tasks[0].fps = 0.0;
+    EXPECT_FALSE(workload::validateScenario(bad_fps, &why));
+    EXPECT_NE(why.find("fps"), std::string::npos);
+
+    auto bad_dep = base;
+    bad_dep.tasks[0].dependsOn =
+        workload::TaskId(bad_dep.tasks.size());
+    EXPECT_FALSE(workload::validateScenario(bad_dep, &why));
+
+    auto self_dep = base;
+    self_dep.tasks[0].dependsOn = 0;
+    EXPECT_FALSE(workload::validateScenario(self_dep, &why));
+
+    auto cycle = base;
+    if (cycle.tasks.size() >= 2) {
+        cycle.tasks[0].dependsOn = 1;
+        cycle.tasks[1].dependsOn = 0;
+        EXPECT_FALSE(workload::validateScenario(cycle, &why));
+        EXPECT_NE(why.find("cycle"), std::string::npos);
+    }
+
+    auto bad_window = base;
+    bad_window.tasks[0].startUs = 2.0;
+    bad_window.tasks[0].endUs = 1.0;
+    EXPECT_FALSE(workload::validateScenario(bad_window, &why));
+
+    auto bad_trigger = base;
+    bad_trigger.tasks[0].triggerProb = 1.5;
+    EXPECT_FALSE(workload::validateScenario(bad_trigger, &why));
+
+    EXPECT_TRUE(workload::validateScenario(base, &why)) << why;
+}
+
+TEST(ValidateScenario, AcceptsAllTable3Presets)
+{
+    for (const auto preset : workload::allScenarioPresets()) {
+        std::string why;
+        EXPECT_TRUE(workload::validateScenario(
+            workload::makeScenario(preset), &why))
+            << toString(preset) << ": " << why;
+    }
+}
+
+} // namespace
+} // namespace dream
