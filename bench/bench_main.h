@@ -9,10 +9,15 @@
  *   --list        print every grid point key and exit (no runs)
  *   --filter S    run only grid points whose key contains S; rows go
  *                 to stdout as CSV (and to --out), then exit
+ *   --shard K/N   run only the K-th of N contiguous key ranges of
+ *                 the (possibly filtered) grid ordering; rows go to
+ *                 stdout as CSV (and to --out), then exit. The N
+ *                 shard CSVs merge back into the unsharded --out
+ *                 byte for byte with tools/dream_merge.
  *
  * Parallel runs are bit-identical to --jobs 1: the engine orders
  * records by grid index before any sink sees them — with and without
- * --filter.
+ * --filter/--shard.
  */
 
 #ifndef DREAM_BENCH_BENCH_MAIN_H
@@ -39,21 +44,30 @@ struct Options {
     bool json = false;     ///< --out format: JSON instead of CSV
     std::string filter;    ///< grid-point key substring; empty = all
     bool list = false;     ///< print grid point keys and exit
+    engine::ShardSpec shard; ///< --shard K/N; 1/1 without the flag
+    bool sharded = false;  ///< --shard was given
+
+    /** True when only a grid subset should run (then exit). */
+    bool subsetRun() const { return !filter.empty() || sharded; }
 };
 
 inline void
 printUsage(const char* prog)
 {
     std::printf("usage: %s [--jobs N] [--out FILE [--json]] "
-                "[--list | --filter S]\n"
-                "  --jobs N    worker threads (0 = all cores; "
+                "[--list | --filter S] [--shard K/N]\n"
+                "  --jobs N     worker threads (0 = all cores; "
                 "default 1)\n"
-                "  --out F     write engine result rows to F\n"
-                "  --json      --out as JSON array instead of CSV\n"
-                "  --list      print every grid point key, run "
+                "  --out F      write engine result rows to F\n"
+                "  --json       --out as JSON array instead of CSV\n"
+                "  --list       print every grid point key, run "
                 "nothing\n"
-                "  --filter S  run only grid points whose key "
-                "contains S\n",
+                "  --filter S   run only grid points whose key "
+                "contains S\n"
+                "  --shard K/N  run only shard K of N (contiguous "
+                "key ranges\n               of the filtered grid "
+                "ordering; merge the N\n               CSVs with "
+                "dream_merge)\n",
                 prog);
 }
 
@@ -78,6 +92,15 @@ parseArgs(int argc, char** argv)
             opts.json = true;
         } else if (arg == "--filter" && i + 1 < argc) {
             opts.filter = argv[++i];
+        } else if (arg == "--shard" && i + 1 < argc) {
+            if (!engine::ShardSpec::parse(argv[++i], &opts.shard)) {
+                std::fprintf(stderr,
+                             "invalid --shard value (want K/N with "
+                             "1 <= K <= N): %s\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            opts.sharded = true;
         } else if (arg == "--list") {
             opts.list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -135,46 +158,79 @@ sinkList(std::initializer_list<engine::ResultSink*> sinks)
 }
 
 /**
- * Serve --list / --filter for @p grid (called before the bench's own
- * full run). With --list, every grid point key is printed and no run
- * happens. With --filter S, only points whose key contains S run;
- * their rows stream to stdout as CSV and to @p file_sink. Returns
- * false when the request was handled (the bench should exit 0), true
- * when the bench should continue with its full sweep and reporting.
+ * Serve --list / --filter / --shard for @p grid (called before the
+ * bench's own full run). With --list, the grid point keys that
+ * --filter/--shard select (all of them without those flags) are
+ * printed and no run happens. With --filter S and/or --shard K/N,
+ * only the selected points run; their rows stream to stdout as CSV
+ * and to @p file_sink. Returns false when the request was handled
+ * (the bench should exit 0), true when the bench should continue
+ * with its full sweep and reporting.
  *
  * Benches with several grids call this once per grid with a @p label
  * prefix on the listed keys; the last call's return value decides.
+ * Such benches also pass @p index_base — the total row count of the
+ * grids before this one — so record indices stay globally unique
+ * and increasing across the whole file, the invariant dream_merge
+ * sorts shard rows back into canonical order by.
  */
 inline bool
 runOrList(const Options& opts, const engine::SweepGrid& grid,
-          engine::ResultSink* file_sink, const char* label = nullptr)
+          engine::ResultSink* file_sink, const char* label = nullptr,
+          size_t index_base = 0)
 {
+    const engine::PointFilter select =
+        opts.filter.empty()
+            ? engine::PointFilter{}
+            : [&](const engine::SweepGrid::Point& p) {
+                  return p.key().find(opts.filter) !=
+                         std::string::npos;
+              };
+
     if (opts.list) {
+        std::vector<size_t> selected;
         for (size_t i = 0; i < grid.size(); ++i) {
+            if (!select || select(grid.point(i)))
+                selected.push_back(i);
+        }
+        const auto range = opts.shard.range(selected.size());
+        for (size_t k = range.first; k < range.second; ++k) {
             if (label)
                 std::printf("%s: %s\n", label,
-                            grid.point(i).key().c_str());
+                            grid.point(selected[k]).key().c_str());
             else
-                std::printf("%s\n", grid.point(i).key().c_str());
+                std::printf("%s\n",
+                            grid.point(selected[k]).key().c_str());
         }
         return false;
     }
-    if (opts.filter.empty())
+    if (!opts.subsetRun())
         return true;
 
     engine::CsvSink stdout_sink(std::cout);
+    engine::ReindexSink shifted_stdout(&stdout_sink, index_base);
+    engine::ReindexSink shifted_file(file_sink, index_base);
     engine::Engine eng({opts.jobs});
-    const auto records =
-        eng.run(grid, sinkList({&stdout_sink, file_sink}),
-                [&](const engine::SweepGrid::Point& p) {
-                    return p.key().find(opts.filter) !=
-                           std::string::npos;
-                });
+    const auto records = eng.run(
+        grid, sinkList({&shifted_stdout, &shifted_file}), select,
+        opts.shard);
     stdout_sink.close(); // CSV rows buffer until close
-    std::fprintf(stderr, "%s%s%zu/%zu grid points matched --filter "
-                 "'%s'\n",
-                 label ? label : "", label ? ": " : "", records.size(),
-                 grid.size(), opts.filter.c_str());
+    if (!opts.filter.empty())
+        std::fprintf(stderr,
+                     "%s%s%zu/%zu grid points selected by --filter "
+                     "'%s'%s%s\n",
+                     label ? label : "", label ? ": " : "",
+                     records.size(), grid.size(),
+                     opts.filter.c_str(),
+                     opts.sharded ? " and --shard " : "",
+                     opts.sharded ? opts.shard.toString().c_str()
+                                  : "");
+    else
+        std::fprintf(stderr,
+                     "%s%s%zu/%zu grid points in shard %s\n",
+                     label ? label : "", label ? ": " : "",
+                     records.size(), grid.size(),
+                     opts.shard.toString().c_str());
     return false;
 }
 

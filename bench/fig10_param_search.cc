@@ -56,15 +56,20 @@ main(int argc, char** argv)
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
 
-    // --list / --filter address the per-case 7x7 reference grids.
-    if (opts.list || !opts.filter.empty()) {
+    // --list / --filter / --shard address the per-case 7x7 reference
+    // grids. Row indices offset per grid (the scan order below) so
+    // the --out file stays merge-ably ordered.
+    if (opts.list || opts.subsetRun()) {
+        size_t next_base = 0;
         for (const auto preset : {workload::ScenarioPreset::VrGaming,
                                   workload::ScenarioPreset::ArCall,
                                   workload::ScenarioPreset::ArSocial}) {
             const auto grid =
                 engine::paramSpaceGrid(sys_preset, preset, 7);
             bench::runOrList(opts, grid, file_sink.get(),
-                             workload::toString(preset).c_str());
+                             workload::toString(preset).c_str(),
+                             next_base);
+            next_base += grid.size();
         }
         return 0;
     }
@@ -72,6 +77,7 @@ main(int argc, char** argv)
     // Cases (c) and (d) share the AR_Social reference grid: scan each
     // preset once and reuse (also keeps --out free of duplicate rows).
     std::map<workload::ScenarioPreset, engine::ParamOptimum> optima;
+    size_t next_base = 0;
 
     double locked_a = 1.0, locked_b = 1.0;
     for (auto& c : cases) {
@@ -86,8 +92,10 @@ main(int argc, char** argv)
         if (optima.find(c.preset) == optima.end()) {
             const auto grid =
                 engine::paramSpaceGrid(sys_preset, c.preset, 7);
+            engine::ReindexSink shifted(file_sink.get(), next_base);
+            next_base += grid.size();
             const auto records =
-                eng.run(grid, bench::sinkList({file_sink.get()}));
+                eng.run(grid, bench::sinkList({&shifted}));
             optima[c.preset] = engine::bestParams(records);
         }
         const auto best = optima[c.preset];

@@ -41,12 +41,17 @@ main(int argc, char** argv)
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
 
-    // --list / --filter address the per-case 7x7 reference grids.
-    if (opts.list || !opts.filter.empty()) {
+    // --list / --filter / --shard address the per-case 7x7 reference
+    // grids. Row indices offset per grid (the scan order below) so
+    // the --out file stays merge-ably ordered.
+    if (opts.list || opts.subsetRun()) {
+        size_t next_base = 0;
         for (const auto& c : cases) {
             const auto grid =
                 engine::paramSpaceGrid(sys_preset, c.preset, 7);
-            bench::runOrList(opts, grid, file_sink.get(), c.name);
+            bench::runOrList(opts, grid, file_sink.get(), c.name,
+                             next_base);
+            next_base += grid.size();
         }
         return 0;
     }
@@ -55,12 +60,15 @@ main(int argc, char** argv)
                 "to the step-0 value; gap vs 7x7 grid optimum)\n\n");
     runner::Table t({"Case", "Step0", "Step1", "Step2", "Step3",
                      "Step4+", "Final gap"});
+    size_t next_base = 0;
     for (const auto& c : cases) {
         const auto scenario = workload::makeScenario(c.preset);
         const auto grid =
             engine::paramSpaceGrid(sys_preset, c.preset, 7);
+        engine::ReindexSink shifted(file_sink.get(), next_base);
+        next_base += grid.size();
         const auto records =
-            eng.run(grid, bench::sinkList({file_sink.get()}));
+            eng.run(grid, bench::sinkList({&shifted}));
         const auto best = engine::bestParams(records);
 
         const auto eval =

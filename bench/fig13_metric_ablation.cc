@@ -38,6 +38,14 @@ main(int argc, char** argv)
         return 0;
     }
 
+    // --shard on this grid-less bench partitions its fixed result
+    // row sequence (the searches all run; only row emission is
+    // gated), so the sharded CSVs still merge back into the
+    // unsharded --out byte for byte.
+    const size_t total_rows =
+        (sizeof scenarios / sizeof scenarios[0]) *
+        (sizeof probs / sizeof probs[0]) * 3 /* objectives */;
+
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
     size_t row_index = 0;
@@ -69,9 +77,11 @@ main(int argc, char** argv)
                     engine::kSearchSeed);
                 if (obj == metrics::Objective::UxCost)
                     ux_of_uxopt = r.uxCost;
-                if (file_sink) {
+                const size_t index = row_index++;
+                if (file_sink &&
+                    opts.shard.contains(index, total_rows)) {
                     engine::RunRecord rec;
-                    rec.index = row_index++;
+                    rec.index = index;
                     rec.scenario = toString(sc_preset) + "@p" +
                                    engine::formatValue(prob);
                     rec.system = system.name;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -12,6 +15,54 @@
 
 namespace dream {
 namespace engine {
+
+bool
+ShardSpec::parse(const std::string& text, ShardSpec* out)
+{
+    const size_t slash = text.find('/');
+    if (slash == 0 || slash == std::string::npos ||
+        slash + 1 >= text.size())
+        return false;
+    char* end = nullptr;
+    const long k = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + slash)
+        return false;
+    const char* n_begin = text.c_str() + slash + 1;
+    const long n = std::strtol(n_begin, &end, 10);
+    if (end != text.c_str() + text.size())
+        return false;
+    // Range-check before narrowing: huge K/N must be rejected, not
+    // silently wrapped into a small (or whole-grid) shard.
+    if (k < 1 || n < 1 || k > INT_MAX || n > INT_MAX)
+        return false;
+    const ShardSpec spec{int(k), int(n)};
+    if (!spec.valid())
+        return false;
+    *out = spec;
+    return true;
+}
+
+std::string
+ShardSpec::toString() const
+{
+    return std::to_string(index) + '/' + std::to_string(count);
+}
+
+std::pair<size_t, size_t>
+ShardSpec::range(size_t total) const
+{
+    assert(valid());
+    const size_t k = size_t(index);
+    const size_t n = size_t(count);
+    return {total * (k - 1) / n, total * k / n};
+}
+
+bool
+ShardSpec::contains(size_t pos, size_t total) const
+{
+    const auto r = range(total);
+    return pos >= r.first && pos < r.second;
+}
 
 RunRecord
 runGridPoint(const SweepGrid::Point& point)
@@ -108,12 +159,30 @@ std::vector<RunRecord>
 Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
             const PointFilter& select) const
 {
+    return run(grid, sinks, select, ShardSpec{});
+}
+
+std::vector<RunRecord>
+Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
+            const PointFilter& select, const ShardSpec& shard) const
+{
+    if (!shard.valid())
+        throw std::invalid_argument("invalid shard spec " +
+                                    std::to_string(shard.index) + '/' +
+                                    std::to_string(shard.count));
+
     const size_t n = grid.size();
     std::vector<size_t> indices;
     indices.reserve(n);
     for (size_t i = 0; i < n; ++i) {
         if (!select || select(grid.point(i)))
             indices.push_back(i);
+    }
+    if (shard.active()) {
+        // Key-range partition of the filtered, index-ordered run.
+        const auto r = shard.range(indices.size());
+        indices = std::vector<size_t>(indices.begin() + long(r.first),
+                                      indices.begin() + long(r.second));
     }
 
     std::vector<RunRecord> records(indices.size());

@@ -13,6 +13,8 @@
 #ifndef DREAM_ENGINE_ENGINE_H
 #define DREAM_ENGINE_ENGINE_H
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/result_sink.h"
@@ -29,6 +31,46 @@ struct EngineOptions {
 
 /** Grid-point predicate for subset runs (--filter). */
 using PointFilter = std::function<bool(const SweepGrid::Point&)>;
+
+/**
+ * One shard of a distributed run: shard @c index of @c count
+ * (1-based, "K/N" on the command line). A shard is the K-th
+ * contiguous key range of the deterministic grid ordering — after
+ * any point filter — so the N shards partition every run exactly
+ * (disjoint, covering, balanced to within one point) and
+ * concatenating shard results in shard order reproduces the
+ * unsharded ordering.
+ */
+struct ShardSpec {
+    int index = 1; ///< 1-based shard number K
+    int count = 1; ///< total shards N
+
+    /** True for a real partition (anything but the whole 1/1). */
+    bool active() const { return count != 1 || index != 1; }
+    /** 1 <= K <= N. */
+    bool valid() const { return count >= 1 && index >= 1 &&
+                                index <= count; }
+
+    /**
+     * Parse "K/N" into @p out. Returns false (and leaves @p out
+     * untouched) on malformed or invalid input.
+     */
+    static bool parse(const std::string& text, ShardSpec* out);
+
+    /** "K/N". */
+    std::string toString() const;
+
+    /**
+     * Half-open position range [begin, end) of this shard within an
+     * ordered sequence of @p total elements. Ranges of shards
+     * 1..count tile [0, total); sizes differ by at most one; shards
+     * beyond @p total are empty.
+     */
+    std::pair<size_t, size_t> range(size_t total) const;
+
+    /** True if position @p pos of @p total falls in this shard. */
+    bool contains(size_t pos, size_t total) const;
+};
 
 /** Simulate one grid point in isolation (runs on worker threads). */
 RunRecord runGridPoint(const SweepGrid::Point& point);
@@ -68,6 +110,21 @@ public:
     std::vector<RunRecord> run(const SweepGrid& grid,
                                const std::vector<ResultSink*>& sinks,
                                const PointFilter& select) const;
+
+    /**
+     * Execute one shard of a (possibly filtered) run: the points
+     * @p select accepts are put in ascending index order, then only
+     * the @p shard-th contiguous range of that sequence runs. The
+     * N shards of a grid partition the filtered run exactly, so
+     * merging their records (by ascending grid index) reproduces
+     * the unsharded run byte for byte.
+     *
+     * @throws std::invalid_argument on an invalid shard spec.
+     */
+    std::vector<RunRecord> run(const SweepGrid& grid,
+                               const std::vector<ResultSink*>& sinks,
+                               const PointFilter& select,
+                               const ShardSpec& shard) const;
 
     int jobs() const { return opts_.jobs; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 
@@ -23,11 +24,32 @@ paramFragment(const ParamMap& params)
     return out;
 }
 
-/** Quote a CSV cell if it contains a separator. */
+} // anonymous namespace
+
 std::string
-csvCell(const std::string& s)
+jsonString(const std::string& s)
 {
-    if (s.find_first_of(",\"\n") == std::string::npos)
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n";  break;
+          case '\r': out += "\\r";  break;
+          case '\t': out += "\\t";  break;
+          default:   out += c;      break;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvQuote(const std::string& s)
+{
+    // '\r' is quoted too: the reader strips bare CRs (Windows line
+    // endings), so an unquoted CR would not round-trip.
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
         return s;
     std::string out = "\"";
     for (const char c : s) {
@@ -39,25 +61,37 @@ csvCell(const std::string& s)
     return out;
 }
 
-/** Escape a JSON string value (ASCII control chars + quotes). */
-std::string
-jsonString(const std::string& s)
+const std::vector<std::string>&
+csvIdentityColumns()
 {
-    std::string out = "\"";
-    for (const char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n";  break;
-          case '\t': out += "\\t";  break;
-          default:   out += c;      break;
-        }
-    }
-    out += '"';
-    return out;
+    static const std::vector<std::string> columns = {
+        "index", "scenario", "system", "scheduler"};
+    return columns;
 }
 
-} // anonymous namespace
+const std::vector<std::string>&
+csvMetricColumns()
+{
+    static const std::vector<std::string> columns = {
+        "seed", "window_us", "ux_cost", "dlv_rate", "norm_energy",
+        "energy_mj", "violation_frac", "drop_rate", "total_frames",
+        "violated_frames", "dropped_frames", "sched_invocations"};
+    return columns;
+}
+
+std::string
+csvHeaderLine(const std::vector<std::string>& param_columns,
+              const std::vector<std::string>& breakdown_columns)
+{
+    std::string out = "index,scenario,system,scheduler";
+    for (const auto& name : param_columns)
+        out += ',' + csvQuote(name);
+    for (const auto& name : csvMetricColumns())
+        out += ',' + name;
+    for (const auto& name : breakdown_columns)
+        out += ',' + csvQuote(name);
+    return out;
+}
 
 double
 RunRecord::breakdownValue(const std::string& name) const
@@ -131,19 +165,15 @@ CsvSink::close()
     }
 
     if (!pending_.empty()) {
-        *out_ << "index,scenario,system,scheduler";
+        std::vector<std::string> param_columns;
         for (const auto& kv : pending_.front().params)
-            *out_ << ',' << csvCell(kv.first);
-        *out_ << ",seed,window_us,ux_cost,dlv_rate,norm_energy,"
-                 "energy_mj,violation_frac,drop_rate,total_frames,"
-                 "violated_frames,dropped_frames,sched_invocations";
-        for (const auto& name : breakdown_columns)
-            *out_ << ',' << csvCell(name);
-        *out_ << '\n';
+            param_columns.push_back(kv.first);
+        *out_ << csvHeaderLine(param_columns, breakdown_columns)
+              << '\n';
     }
     for (const auto& r : pending_) {
-        *out_ << r.index << ',' << csvCell(r.scenario) << ','
-              << csvCell(r.system) << ',' << csvCell(r.scheduler);
+        *out_ << r.index << ',' << csvQuote(r.scenario) << ','
+              << csvQuote(r.system) << ',' << csvQuote(r.scheduler);
         for (const auto& kv : r.params)
             *out_ << ',' << formatValue(kv.second);
         *out_ << ',' << r.seed << ',' << formatValue(r.windowUs)
@@ -165,6 +195,175 @@ CsvSink::close()
     }
     pending_.clear();
     out_->flush();
+}
+
+// --------------------------------------------------------------- read
+
+namespace {
+
+/**
+ * Split one logical CSV record off @p in into unquoted cells.
+ * Handles quoted cells (including embedded newlines and doubled
+ * quotes). Returns false at end of input.
+ */
+bool
+readCsvRecord(std::istream& in, std::vector<std::string>& cells)
+{
+    cells.clear();
+    int c = in.get();
+    if (c == std::istream::traits_type::eof())
+        return false;
+
+    std::string cell;
+    bool quoted = false;
+    for (;; c = in.get()) {
+        if (c == std::istream::traits_type::eof()) {
+            if (quoted)
+                throw std::runtime_error(
+                    "unterminated quoted CSV cell");
+            break;
+        }
+        if (quoted) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    cell += '"';
+                    in.get();
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += char(c);
+            }
+            continue;
+        }
+        if (c == '"' && cell.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else if (c == '\n') {
+            break;
+        } else if (c != '\r') {
+            cell += char(c);
+        }
+    }
+    cells.push_back(std::move(cell));
+    return true;
+}
+
+/** Parse and structurally validate a result-CSV header. */
+CsvSchema
+parseSchema(const std::vector<std::string>& header)
+{
+    CsvSchema schema;
+    schema.columns = header;
+
+    const auto& identity = csvIdentityColumns();
+    const auto& metrics = csvMetricColumns();
+    if (header.size() < identity.size() + metrics.size())
+        throw std::runtime_error("result CSV header has only " +
+                                 std::to_string(header.size()) +
+                                 " columns");
+    for (size_t i = 0; i < identity.size(); ++i) {
+        if (header[i] != identity[i])
+            throw std::runtime_error(
+                "result CSV header column " + std::to_string(i) +
+                " is '" + header[i] + "', expected '" + identity[i] +
+                "'");
+    }
+
+    // Parameter columns run from the identity prefix to the fixed
+    // metric span (located by its first column, "seed" — a free
+    // parameter axis must not reuse a fixed column name).
+    size_t seed_at = identity.size();
+    while (seed_at < header.size() && header[seed_at] != metrics[0])
+        ++seed_at;
+    if (seed_at + metrics.size() > header.size())
+        throw std::runtime_error(
+            "result CSV header has no '" + metrics[0] +
+            "' metric span");
+    for (size_t i = 0; i < metrics.size(); ++i) {
+        if (header[seed_at + i] != metrics[i])
+            throw std::runtime_error(
+                "result CSV metric column mismatch: '" +
+                header[seed_at + i] + "', expected '" + metrics[i] +
+                "'");
+    }
+
+    schema.paramColumns.assign(header.begin() + long(identity.size()),
+                               header.begin() + long(seed_at));
+    schema.breakdownColumns.assign(
+        header.begin() + long(seed_at + metrics.size()),
+        header.end());
+    return schema;
+}
+
+} // anonymous namespace
+
+size_t
+CsvSchema::columnIndex(const std::string& name) const
+{
+    for (size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == name)
+            return i;
+    }
+    return std::string::npos;
+}
+
+uint64_t
+CsvTable::rowIndex(size_t r) const
+{
+    return std::strtoull(rows.at(r).at(0).c_str(), nullptr, 10);
+}
+
+std::string
+CsvTable::rowKey(size_t r) const
+{
+    const auto& row = rows.at(r);
+    const size_t n_params = schema.paramColumns.size();
+    std::string out = row.at(1) + '/' + row.at(2) + '/' + row.at(3);
+    std::string params_frag;
+    for (size_t i = 0; i < n_params; ++i) {
+        if (!params_frag.empty())
+            params_frag += ',';
+        params_frag += schema.paramColumns[i] + '=' + row.at(4 + i);
+    }
+    if (!params_frag.empty())
+        out += '/' + params_frag;
+    return out + "/seed=" + row.at(4 + n_params);
+}
+
+CsvTable
+readResultCsv(std::istream& in)
+{
+    CsvTable table;
+    std::vector<std::string> cells;
+    if (!readCsvRecord(in, cells))
+        return table; // empty file: a rowless (e.g. empty-shard) run
+    table.schema = parseSchema(cells);
+    while (readCsvRecord(in, cells)) {
+        if (cells.size() != table.schema.columns.size())
+            throw std::runtime_error(
+                "result CSV row " +
+                std::to_string(table.rows.size() + 1) + " has " +
+                std::to_string(cells.size()) + " cells, header has " +
+                std::to_string(table.schema.columns.size()));
+        table.rows.push_back(cells);
+    }
+    return table;
+}
+
+CsvTable
+readResultCsv(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        throw std::runtime_error("cannot open result CSV: " + path);
+    try {
+        return readResultCsv(in);
+    } catch (const std::runtime_error& e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
 }
 
 // --------------------------------------------------------------- JSON

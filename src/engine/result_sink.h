@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <fstream>
 #include <functional>
+#include <istream>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -85,6 +86,36 @@ public:
 
     /** Flush/finalise output. Idempotent; also called by dtors. */
     virtual void close() {}
+};
+
+/**
+ * Forwards records to an inner sink with a constant added to every
+ * record index. Benches that stream several grids into one sink use
+ * it (one wrapper per grid, base = rows of the grids before it) to
+ * keep the file's index column globally unique and increasing in
+ * canonical row order — the property dream_merge sorts sharded rows
+ * back into place by. close() is a no-op: the inner sink outlives
+ * the wrappers and is closed by its owner.
+ */
+class ReindexSink : public ResultSink {
+public:
+    /** A null @p inner turns every write into a no-op. */
+    ReindexSink(ResultSink* inner, size_t base)
+        : inner_(inner), base_(base)
+    {}
+
+    void write(const RunRecord& record) override
+    {
+        if (!inner_)
+            return;
+        RunRecord shifted = record;
+        shifted.index += base_;
+        inner_->write(shifted);
+    }
+
+private:
+    ResultSink* inner_;
+    size_t base_;
 };
 
 /**
@@ -196,6 +227,93 @@ private:
     std::vector<std::string> order_;
     std::unordered_map<std::string, Samples> cells_;
 };
+
+// -------------------------------------------- CSV schema + reader
+//
+// The counterpart of CsvSink: schema introspection over a result
+// CSV's header and a reader returning the raw (unquoted) cell text
+// of every row. The merge/diff tools are built on this — raw cells
+// round-trip byte-identically through csvQuote(), numbers are only
+// parsed where a comparison needs them.
+
+/** Quote one CSV cell the way CsvSink does (RFC-4180 style). */
+std::string csvQuote(const std::string& cell);
+
+/** Escape + quote a JSON string value the way JsonSink does. */
+std::string jsonString(const std::string& value);
+
+/**
+ * The fixed identity columns every result CSV starts with
+ * ("index", "scenario", "system", "scheduler").
+ */
+const std::vector<std::string>& csvIdentityColumns();
+
+/**
+ * The fixed metric columns between the parameter and breakdown
+ * spans ("seed", "window_us", ..., "sched_invocations").
+ */
+const std::vector<std::string>& csvMetricColumns();
+
+/**
+ * The header line (no trailing newline) of a result CSV with the
+ * given parameter and breakdown column names. Shared by CsvSink and
+ * dream_merge so a merged file reproduces the writer's bytes.
+ */
+std::string
+csvHeaderLine(const std::vector<std::string>& param_columns,
+              const std::vector<std::string>& breakdown_columns);
+
+/** Introspected structure of one result CSV header. */
+struct CsvSchema {
+    /** Every header column, in file order. */
+    std::vector<std::string> columns;
+    /** Free-parameter columns (between "scheduler" and "seed"). */
+    std::vector<std::string> paramColumns;
+    /** Breakdown columns (after "sched_invocations"). */
+    std::vector<std::string> breakdownColumns;
+
+    /** Column position of @p name; npos if absent. */
+    size_t columnIndex(const std::string& name) const;
+
+    /** First breakdown column position (== columns.size() if none). */
+    size_t breakdownBegin() const
+    {
+        return columns.size() - breakdownColumns.size();
+    }
+};
+
+/** One result CSV: schema plus raw cell text per row. */
+struct CsvTable {
+    CsvSchema schema;
+    /** Raw (unquoted) cells; every row has schema.columns.size(). */
+    std::vector<std::vector<std::string>> rows;
+
+    /** True for a file with no rows (and thus no header). */
+    bool empty() const { return rows.empty(); }
+
+    /** Numeric value of row @p r's "index" column. */
+    uint64_t rowIndex(size_t r) const;
+    /**
+     * Grid-point identity of row @p r — scenario, system,
+     * scheduler, parameter values and seed, formatted like
+     * SweepGrid::Point::key() ("VR/4K-2WS/FCFS/alpha=1/seed=11").
+     */
+    std::string rowKey(size_t r) const;
+};
+
+/**
+ * Parse a result CSV produced by CsvSink. An empty stream yields an
+ * empty table (CsvSink writes no header for a rowless run — the
+ * empty-shard case).
+ *
+ * @throws std::runtime_error on a malformed header (fixed columns
+ * missing or out of order), an inconsistent cell count, or invalid
+ * quoting.
+ */
+CsvTable readResultCsv(std::istream& in);
+
+/** readResultCsv from a file; the error names @p path. */
+CsvTable readResultCsv(const std::string& path);
 
 // ------------------------------------------------- report helpers
 //

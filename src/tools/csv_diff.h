@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regression diffing of two result CSVs from the same grid ("same
+ * grid, two builds, same results"). Rows are keyed by grid point
+ * (scenario/system/scheduler/params/seed); value columns compare
+ * numerically under per-column absolute/relative tolerances, so a
+ * CI gate can allow bounded drift in noisy metrics while holding
+ * counters exact. NaN cells compare equal to NaN (an expected-NaN
+ * metric is not a regression); blank vs non-blank is a change.
+ */
+
+#ifndef DREAM_TOOLS_CSV_DIFF_H
+#define DREAM_TOOLS_CSV_DIFF_H
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/result_sink.h"
+
+namespace dream {
+namespace tools {
+
+/** Allowed drift for one column (a cell passes if EITHER holds). */
+struct Tolerance {
+    double abs = 0.0; ///< |a - b| <= abs
+    double rel = 0.0; ///< |a - b| <= rel * max(|a|, |b|)
+};
+
+/** Diff knobs. */
+struct DiffOptions {
+    /** Default tolerance for every compared column (exact match). */
+    Tolerance tolerance;
+    /** Per-column overrides of the default, e.g. {"ux_cost", ...}. */
+    std::vector<std::pair<std::string, Tolerance>> columnTolerances;
+
+    /** Tolerance in effect for @p column. */
+    const Tolerance& toleranceFor(const std::string& column) const;
+};
+
+/** One out-of-tolerance cell. */
+struct CellChange {
+    std::string key;    ///< grid-point key of the row
+    std::string column; ///< column name
+    std::string before; ///< cell text in A
+    std::string after;  ///< cell text in B
+};
+
+/** Outcome of one diff. */
+struct DiffResult {
+    size_t rowsA = 0;
+    size_t rowsB = 0;
+    size_t compared = 0; ///< grid points present in both files
+
+    /** Grid points only in B / only in A, in file order. */
+    std::vector<std::string> added;
+    std::vector<std::string> removed;
+    /** Out-of-tolerance cells, in A's row order. */
+    std::vector<CellChange> changed;
+
+    /** Number of distinct grid points with changed cells. */
+    size_t changedRows() const;
+    /** True when the grids match and every cell is in tolerance. */
+    bool identical() const
+    {
+        return added.empty() && removed.empty() && changed.empty();
+    }
+};
+
+/**
+ * Compare baseline @p a against candidate @p b. Every column except
+ * the positional "index" is compared: the metric span, and the
+ * union of both files' breakdown columns.
+ *
+ * @throws std::runtime_error if either file repeats a grid-point
+ * key, or if the files' parameter columns differ (not the same
+ * grid).
+ */
+DiffResult diffResultCsvs(const engine::CsvTable& a,
+                          const engine::CsvTable& b,
+                          const DiffOptions& options = {});
+
+/** Human-readable summary (cell listing capped at @p max_cells). */
+void printDiffSummary(const DiffResult& result, std::ostream& out,
+                      size_t max_cells = 20);
+
+/** Machine-readable JSON summary (one object, all changes). */
+void printDiffJson(const DiffResult& result, std::ostream& out);
+
+} // namespace tools
+} // namespace dream
+
+#endif // DREAM_TOOLS_CSV_DIFF_H

@@ -317,6 +317,129 @@ TEST(Engine, FilteredRunSelectsMatchingPointsDeterministically)
     EXPECT_EQ(all.size(), grid.size());
 }
 
+TEST(ShardSpec, ParsesValidSpecsAndRejectsMalformedOnes)
+{
+    engine::ShardSpec s;
+    ASSERT_TRUE(engine::ShardSpec::parse("2/4", &s));
+    EXPECT_EQ(s.index, 2);
+    EXPECT_EQ(s.count, 4);
+    EXPECT_TRUE(s.active());
+    EXPECT_EQ(s.toString(), "2/4");
+
+    ASSERT_TRUE(engine::ShardSpec::parse("1/1", &s));
+    EXPECT_FALSE(s.active());
+
+    for (const char* bad :
+         {"", "/", "3", "0/4", "5/4", "-1/4", "1/0", "a/4", "1/b",
+          "1/4x", "1//4",
+          // Out of int range: must be rejected, not wrapped.
+          "4294967297/4294967297", "1/99999999999999999999"}) {
+        engine::ShardSpec keep{7, 9};
+        EXPECT_FALSE(engine::ShardSpec::parse(bad, &keep)) << bad;
+        EXPECT_EQ(keep.index, 7) << bad; // untouched on failure
+    }
+}
+
+TEST(ShardSpec, RangesTileTheSequenceExactly)
+{
+    for (const size_t total : {0u, 1u, 3u, 7u, 8u, 100u}) {
+        for (const int n : {1, 2, 3, 4, 7, 10}) {
+            size_t covered = 0;
+            size_t prev_end = 0;
+            for (int k = 1; k <= n; ++k) {
+                const engine::ShardSpec s{k, n};
+                const auto r = s.range(total);
+                EXPECT_EQ(r.first, prev_end); // contiguous
+                EXPECT_LE(r.second, total);
+                prev_end = r.second;
+                covered += r.second - r.first;
+                for (size_t p = r.first; p < r.second; ++p)
+                    EXPECT_TRUE(s.contains(p, total));
+            }
+            EXPECT_EQ(prev_end, total);   // covering
+            EXPECT_EQ(covered, total);    // disjoint
+        }
+    }
+    // More shards than points: some shards are empty, none gets
+    // more than one point.
+    for (int k = 1; k <= 4; ++k) {
+        const auto r = engine::ShardSpec{k, 4}.range(2);
+        EXPECT_LE(r.second - r.first, 1u) << k;
+    }
+    EXPECT_EQ((engine::ShardSpec{1, 4}.range(2).second), 0u);
+}
+
+TEST(Engine, ShardedRunsPartitionTheGrid)
+{
+    const auto grid = smallGrid();
+    const auto full = engine::Engine({1}).run(grid);
+    ASSERT_EQ(full.size(), 8u);
+
+    std::vector<engine::RunRecord> stitched;
+    for (int k = 1; k <= 3; ++k) {
+        const auto part = engine::Engine({2}).run(
+            grid, {}, engine::PointFilter{},
+            engine::ShardSpec{k, 3});
+        stitched.insert(stitched.end(), part.begin(), part.end());
+    }
+    ASSERT_EQ(stitched.size(), full.size());
+    for (size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(stitched[i].key(), full[i].key());
+        EXPECT_EQ(stitched[i].uxCost, full[i].uxCost) << i;
+        EXPECT_EQ(stitched[i].index, full[i].index) << i;
+    }
+
+    EXPECT_THROW(engine::Engine({1}).run(grid, {},
+                                         engine::PointFilter{},
+                                         engine::ShardSpec{5, 4}),
+                 std::invalid_argument);
+}
+
+TEST(Engine, ShardComposesWithPointFilter)
+{
+    const auto grid = smallGrid();
+    const auto filter = [](const engine::SweepGrid::Point& p) {
+        return p.key().find("seed=1") != std::string::npos;
+    };
+    const auto filtered = engine::Engine({1}).run(grid, {}, filter);
+    ASSERT_EQ(filtered.size(), 4u);
+
+    // The shards partition the FILTERED sequence, not the grid.
+    std::vector<engine::RunRecord> stitched;
+    for (int k = 1; k <= 2; ++k) {
+        const auto part = engine::Engine({1}).run(
+            grid, {}, filter, engine::ShardSpec{k, 2});
+        EXPECT_EQ(part.size(), 2u);
+        stitched.insert(stitched.end(), part.begin(), part.end());
+    }
+    ASSERT_EQ(stitched.size(), filtered.size());
+    for (size_t i = 0; i < filtered.size(); ++i)
+        EXPECT_EQ(stitched[i].key(), filtered[i].key());
+
+    // A shard of a tiny filtered set can be empty.
+    const auto empty = engine::Engine({1}).run(
+        grid, {}, filter, engine::ShardSpec{9, 9});
+    EXPECT_EQ(empty.size(), 1u); // 4 points, 9 shards: last has one
+    const auto mid = engine::Engine({1}).run(
+        grid, {}, filter, engine::ShardSpec{2, 9});
+    EXPECT_TRUE(mid.empty());
+}
+
+TEST(ReindexSink, ShiftsIndicesAndToleratesNullInner)
+{
+    std::ostringstream out;
+    engine::CsvSink csv(out);
+    engine::ReindexSink shifted(&csv, 100);
+    engine::RunRecord r = syntheticRecord("A", 11, 1.5);
+    r.index = 4;
+    shifted.write(r);
+    csv.close();
+    EXPECT_NE(out.str().find("\n104,sc,sys,A,"), std::string::npos);
+
+    engine::ReindexSink null_sink(nullptr, 5);
+    null_sink.write(r); // must not crash
+}
+
 TEST(Engine, SupernetRunsCarryVariantShareBreakdown)
 {
     // VR_Gaming carries the OFA Supernet; DREAM-Full may switch

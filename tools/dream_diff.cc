@@ -1,0 +1,152 @@
+/**
+ * @file
+ * dream_diff: compare two result CSVs from the same grid ("same
+ * grid, two builds, same results" — the CI regression gate). Rows
+ * are keyed by grid point; value columns compare numerically under
+ * global or per-column absolute/relative tolerances.
+ *
+ * Exit codes: 0 = no differences (always 0 without --fail-on-diff),
+ * 1 = differences found and --fail-on-diff given, 2 = usage or
+ * input error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "engine/result_sink.h"
+#include "tools/csv_diff.h"
+
+using namespace dream;
+
+namespace {
+
+void
+printUsage(const char* prog)
+{
+    std::printf(
+        "usage: %s [options] BASELINE.csv CANDIDATE.csv\n"
+        "  --abs-tol V          global absolute tolerance "
+        "(default 0)\n"
+        "  --rel-tol V          global relative tolerance "
+        "(default 0)\n"
+        "  --tol COL=ABS[:REL]  per-column tolerance override\n"
+        "  --fail-on-diff       exit 1 when differences are found\n"
+        "  --json               machine-readable JSON summary\n"
+        "compares result CSVs keyed by grid point "
+        "(scenario/system/scheduler/\nparams/seed); reports "
+        "added/removed grid points and out-of-tolerance\ncells. "
+        "NaN compares equal to NaN.\n",
+        prog);
+}
+
+bool
+parseDoubleArg(const char* text, double* out)
+{
+    char* end = nullptr;
+    *out = std::strtod(text, &end);
+    return end != text && *end == '\0' && *out >= 0.0;
+}
+
+/** Parse "COL=ABS[:REL]" into a per-column tolerance entry. */
+bool
+parseColumnTol(const std::string& spec,
+               std::pair<std::string, tools::Tolerance>* out)
+{
+    const size_t eq = spec.find('=');
+    if (eq == 0 || eq == std::string::npos)
+        return false;
+    out->first = spec.substr(0, eq);
+    const std::string values = spec.substr(eq + 1);
+    const size_t colon = values.find(':');
+    out->second = {};
+    if (colon == std::string::npos)
+        return parseDoubleArg(values.c_str(), &out->second.abs);
+    return parseDoubleArg(values.substr(0, colon).c_str(),
+                          &out->second.abs) &&
+           parseDoubleArg(values.substr(colon + 1).c_str(),
+                          &out->second.rel);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char** argv)
+{
+    tools::DiffOptions options;
+    bool fail_on_diff = false;
+    bool json = false;
+    std::string path_a, path_b;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--abs-tol" && i + 1 < argc) {
+            if (!parseDoubleArg(argv[++i],
+                                &options.tolerance.abs)) {
+                std::fprintf(stderr, "invalid --abs-tol value: %s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--rel-tol" && i + 1 < argc) {
+            if (!parseDoubleArg(argv[++i],
+                                &options.tolerance.rel)) {
+                std::fprintf(stderr, "invalid --rel-tol value: %s\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--tol" && i + 1 < argc) {
+            std::pair<std::string, tools::Tolerance> tol;
+            if (!parseColumnTol(argv[++i], &tol)) {
+                std::fprintf(stderr,
+                             "invalid --tol value (want "
+                             "COL=ABS[:REL]): %s\n",
+                             argv[i]);
+                return 2;
+            }
+            options.columnTolerances.push_back(std::move(tol));
+        } else if (arg == "--fail-on-diff") {
+            fail_on_diff = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            printUsage(argv[0]);
+            return 2;
+        } else if (path_a.empty()) {
+            path_a = arg;
+        } else if (path_b.empty()) {
+            path_b = arg;
+        } else {
+            std::fprintf(stderr, "too many positional arguments\n");
+            printUsage(argv[0]);
+            return 2;
+        }
+    }
+    if (path_b.empty()) {
+        std::fprintf(stderr, "need two CSVs to compare\n");
+        printUsage(argv[0]);
+        return 2;
+    }
+
+    try {
+        const auto a = engine::readResultCsv(path_a);
+        const auto b = engine::readResultCsv(path_b);
+        const auto result = tools::diffResultCsvs(a, b, options);
+        if (json)
+            tools::printDiffJson(result, std::cout);
+        else
+            tools::printDiffSummary(result, std::cout);
+        if (!result.identical() && fail_on_diff)
+            return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dream_diff: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}

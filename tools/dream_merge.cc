@@ -1,0 +1,96 @@
+/**
+ * @file
+ * dream_merge: merge N shard CSVs (`bench --shard K/N --out`) back
+ * into the canonical single-run result CSV. Inputs may be given in
+ * any order; the merged file is byte-identical to the unsharded
+ * `--out` of the same bench. Exits 0 on success, 2 on any error
+ * (unreadable input, schema mismatch, overlapping shards).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/result_sink.h"
+#include "tools/csv_merge.h"
+
+using namespace dream;
+
+namespace {
+
+void
+printUsage(const char* prog)
+{
+    std::printf("usage: %s [--out FILE] SHARD.csv [SHARD.csv ...]\n"
+                "  --out F   write the merged CSV to F (default: "
+                "stdout)\n"
+                "merges shard result CSVs (bench --shard K/N --out) "
+                "back into the\ncanonical single-run CSV; errors on "
+                "overlapping shards or mixed grids\n",
+                prog);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out_path;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            printUsage(argv[0]);
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr, "no input CSVs given\n");
+        printUsage(argv[0]);
+        return 2;
+    }
+
+    try {
+        std::vector<engine::CsvTable> tables;
+        tables.reserve(inputs.size());
+        for (const auto& path : inputs)
+            tables.push_back(engine::readResultCsv(path));
+
+        if (out_path.empty()) {
+            tools::mergeResultCsvs(tables, std::cout);
+        } else {
+            std::ofstream out(out_path);
+            if (!out.is_open()) {
+                std::fprintf(stderr,
+                             "cannot open --out file for writing: "
+                             "%s\n",
+                             out_path.c_str());
+                return 2;
+            }
+            tools::mergeResultCsvs(tables, out);
+        }
+
+        size_t rows = 0;
+        for (const auto& t : tables)
+            rows += t.rows.size();
+        std::fprintf(stderr, "merged %zu rows from %zu shard(s)\n",
+                     rows, inputs.size());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dream_merge: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}
