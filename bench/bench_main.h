@@ -14,10 +14,17 @@
  *                 stdout as CSV (and to --out), then exit. The N
  *                 shard CSVs merge back into the unsharded --out
  *                 byte for byte with tools/dream_merge.
+ *   --chunk B:E   run only positions [B, E) of the (possibly
+ *                 filtered) grid ordering — the explicit-range
+ *                 protocol tools/dream_shard hands out chunks with.
+ *                 Positions are global across every grid the bench
+ *                 scans. Mutually exclusive with --shard; chunk
+ *                 files that tile the ordering merge back into the
+ *                 unsharded --out byte for byte with dream_merge.
  *
  * Parallel runs are bit-identical to --jobs 1: the engine orders
  * records by grid index before any sink sees them — with and without
- * --filter/--shard.
+ * --filter/--shard/--chunk.
  */
 
 #ifndef DREAM_BENCH_BENCH_MAIN_H
@@ -46,16 +53,42 @@ struct Options {
     bool list = false;     ///< print grid point keys and exit
     engine::ShardSpec shard; ///< --shard K/N; 1/1 without the flag
     bool sharded = false;  ///< --shard was given
+    engine::ChunkSpec chunk; ///< --chunk B:E; 0:npos without the flag
+    bool chunked = false;  ///< --chunk was given
+
+    /**
+     * Global positions consumed by previous runOrList calls.
+     * --chunk positions are global across every grid a bench scans,
+     * so multi-grid benches advance this cursor per grid (mutable:
+     * benches hold a const Options).
+     */
+    mutable size_t chunkCursor = 0;
 
     /** True when only a grid subset should run (then exit). */
-    bool subsetRun() const { return !filter.empty() || sharded; }
+    bool subsetRun() const
+    {
+        return !filter.empty() || sharded || chunked;
+    }
+
+    /**
+     * True when row @p pos of a @p total-row sequence belongs to
+     * this invocation's subset (--shard partitions the sequence,
+     * --chunk names positions directly; all rows without either).
+     * Grid-less benches (fig13) gate their manual row emission with
+     * it.
+     */
+    bool selectsRow(size_t pos, size_t total) const
+    {
+        return chunked ? chunk.contains(pos, total)
+                       : shard.contains(pos, total);
+    }
 };
 
 inline void
 printUsage(const char* prog)
 {
     std::printf("usage: %s [--jobs N] [--out FILE [--json]] "
-                "[--list | --filter S] [--shard K/N]\n"
+                "[--list | --filter S] [--shard K/N | --chunk B:E]\n"
                 "  --jobs N     worker threads (0 = all cores; "
                 "default 1)\n"
                 "  --out F      write engine result rows to F\n"
@@ -67,7 +100,11 @@ printUsage(const char* prog)
                 "  --shard K/N  run only shard K of N (contiguous "
                 "key ranges\n               of the filtered grid "
                 "ordering; merge the N\n               CSVs with "
-                "dream_merge)\n",
+                "dream_merge)\n"
+                "  --chunk B:E  run only positions [B, E) of the "
+                "filtered grid\n               ordering (the "
+                "dream_shard chunk protocol;\n               "
+                "chunk files merge with dream_merge too)\n",
                 prog);
 }
 
@@ -101,6 +138,15 @@ parseArgs(int argc, char** argv)
                 std::exit(2);
             }
             opts.sharded = true;
+        } else if (arg == "--chunk" && i + 1 < argc) {
+            if (!engine::ChunkSpec::parse(argv[++i], &opts.chunk)) {
+                std::fprintf(stderr,
+                             "invalid --chunk value (want B:E with "
+                             "B <= E, or B:): %s\n",
+                             argv[i]);
+                std::exit(2);
+            }
+            opts.chunked = true;
         } else if (arg == "--list") {
             opts.list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -111,6 +157,11 @@ parseArgs(int argc, char** argv)
             printUsage(argv[0]);
             std::exit(2);
         }
+    }
+    if (opts.sharded && opts.chunked) {
+        std::fprintf(stderr,
+                     "--shard and --chunk are mutually exclusive\n");
+        std::exit(2);
     }
     if (opts.jobs <= 0)
         opts.jobs = engine::WorkerPool::defaultJobs();
@@ -158,21 +209,24 @@ sinkList(std::initializer_list<engine::ResultSink*> sinks)
 }
 
 /**
- * Serve --list / --filter / --shard for @p grid (called before the
- * bench's own full run). With --list, the grid point keys that
- * --filter/--shard select (all of them without those flags) are
- * printed and no run happens. With --filter S and/or --shard K/N,
- * only the selected points run; their rows stream to stdout as CSV
- * and to @p file_sink. Returns false when the request was handled
- * (the bench should exit 0), true when the bench should continue
- * with its full sweep and reporting.
+ * Serve --list / --filter / --shard / --chunk for @p grid (called
+ * before the bench's own full run). With --list, the grid point keys
+ * that --filter/--shard/--chunk select (all of them without those
+ * flags) are printed and no run happens. With --filter S, --shard
+ * K/N and/or --chunk B:E, only the selected points run; their rows
+ * stream to stdout as CSV and to @p file_sink. Returns false when
+ * the request was handled (the bench should exit 0), true when the
+ * bench should continue with its full sweep and reporting.
  *
  * Benches with several grids call this once per grid with a @p label
  * prefix on the listed keys; the last call's return value decides.
  * Such benches also pass @p index_base — the total row count of the
  * grids before this one — so record indices stay globally unique
  * and increasing across the whole file, the invariant dream_merge
- * sorts shard rows back into canonical order by.
+ * sorts shard rows back into canonical order by. --chunk positions
+ * are likewise global: the cursor in Options rebases the range onto
+ * each grid's window of selected positions, so the concatenation of
+ * every grid's filtered ordering is one addressable sequence.
  */
 inline bool
 runOrList(const Options& opts, const engine::SweepGrid& grid,
@@ -187,13 +241,26 @@ runOrList(const Options& opts, const engine::SweepGrid& grid,
                          std::string::npos;
               };
 
-    if (opts.list) {
-        std::vector<size_t> selected;
+    // Only --list and --chunk need the selected positions up front
+    // (the engine re-derives them for the run itself): --list to
+    // print keys, --chunk to rebase the global range onto this
+    // grid's window — later grids start where this one ends.
+    std::vector<size_t> selected;
+    engine::ChunkSpec local_chunk;
+    if (opts.list || opts.chunked) {
         for (size_t i = 0; i < grid.size(); ++i) {
             if (!select || select(grid.point(i)))
                 selected.push_back(i);
         }
-        const auto range = opts.shard.range(selected.size());
+        local_chunk =
+            opts.chunk.slice(opts.chunkCursor, selected.size());
+        opts.chunkCursor += selected.size();
+    }
+
+    if (opts.list) {
+        const auto range = opts.chunked
+                               ? local_chunk.range(selected.size())
+                               : opts.shard.range(selected.size());
         for (size_t k = range.first; k < range.second; ++k) {
             if (label)
                 std::printf("%s: %s\n", label,
@@ -211,10 +278,24 @@ runOrList(const Options& opts, const engine::SweepGrid& grid,
     engine::ReindexSink shifted_stdout(&stdout_sink, index_base);
     engine::ReindexSink shifted_file(file_sink, index_base);
     engine::Engine eng({opts.jobs});
-    const auto records = eng.run(
-        grid, sinkList({&shifted_stdout, &shifted_file}), select,
-        opts.shard);
+    const auto sinks = sinkList({&shifted_stdout, &shifted_file});
+    std::vector<engine::RunRecord> records;
+    if (opts.chunked) {
+        // The selection was already materialised for the cursor —
+        // hand the engine the sliced indices instead of making it
+        // repeat the filter scan.
+        const auto r = local_chunk.range(selected.size());
+        records = eng.run(
+            grid, sinks,
+            std::vector<size_t>(selected.begin() + long(r.first),
+                                selected.begin() + long(r.second)));
+    } else {
+        records = eng.run(grid, sinks, select, opts.shard);
+    }
     stdout_sink.close(); // CSV rows buffer until close
+    const std::string subset_desc =
+        opts.chunked ? "--chunk " + opts.chunk.toString()
+                     : "--shard " + opts.shard.toString();
     if (!opts.filter.empty())
         std::fprintf(stderr,
                      "%s%s%zu/%zu grid points selected by --filter "
@@ -222,15 +303,15 @@ runOrList(const Options& opts, const engine::SweepGrid& grid,
                      label ? label : "", label ? ": " : "",
                      records.size(), grid.size(),
                      opts.filter.c_str(),
-                     opts.sharded ? " and --shard " : "",
-                     opts.sharded ? opts.shard.toString().c_str()
-                                  : "");
+                     opts.sharded || opts.chunked ? " and " : "",
+                     opts.sharded || opts.chunked
+                         ? subset_desc.c_str()
+                         : "");
     else
-        std::fprintf(stderr,
-                     "%s%s%zu/%zu grid points in shard %s\n",
+        std::fprintf(stderr, "%s%s%zu/%zu grid points in %s\n",
                      label ? label : "", label ? ": " : "",
                      records.size(), grid.size(),
-                     opts.shard.toString().c_str());
+                     subset_desc.c_str());
     return false;
 }
 

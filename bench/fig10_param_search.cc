@@ -56,9 +56,11 @@ main(int argc, char** argv)
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
 
-    // --list / --filter / --shard address the per-case 7x7 reference
-    // grids. Row indices offset per grid (the scan order below) so
-    // the --out file stays merge-ably ordered.
+    // --list / --filter / --shard / --chunk address the per-case 7x7
+    // reference grids. Row indices offset per grid (the scan order
+    // below) so the --out file stays merge-ably ordered; --chunk
+    // positions run globally across the grids via the Options
+    // cursor.
     if (opts.list || opts.subsetRun()) {
         size_t next_base = 0;
         for (const auto preset : {workload::ScenarioPreset::VrGaming,

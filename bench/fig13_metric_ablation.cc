@@ -38,10 +38,10 @@ main(int argc, char** argv)
         return 0;
     }
 
-    // --shard on this grid-less bench partitions its fixed result
-    // row sequence (the searches all run; only row emission is
-    // gated), so the sharded CSVs still merge back into the
-    // unsharded --out byte for byte.
+    // --shard/--chunk on this grid-less bench partition its fixed
+    // result row sequence (the searches all run; only row emission
+    // is gated), so the sharded or chunked CSVs still merge back
+    // into the unsharded --out byte for byte.
     const size_t total_rows =
         (sizeof scenarios / sizeof scenarios[0]) *
         (sizeof probs / sizeof probs[0]) * 3 /* objectives */;
@@ -79,7 +79,7 @@ main(int argc, char** argv)
                     ux_of_uxopt = r.uxCost;
                 const size_t index = row_index++;
                 if (file_sink &&
-                    opts.shard.contains(index, total_rows)) {
+                    opts.selectsRow(index, total_rows)) {
                     engine::RunRecord rec;
                     rec.index = index;
                     rec.scenario = toString(sc_preset) + "@p" +

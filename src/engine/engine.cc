@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <climits>
 #include <cstdlib>
 #include <stdexcept>
@@ -62,6 +63,85 @@ ShardSpec::contains(size_t pos, size_t total) const
 {
     const auto r = range(total);
     return pos >= r.first && pos < r.second;
+}
+
+bool
+ChunkSpec::parse(const std::string& text, ChunkSpec* out)
+{
+    const size_t colon = text.find(':');
+    if (colon == std::string::npos)
+        return false;
+    // Digits only on both sides ("B:E", or "B:" for an open end):
+    // strtoull would silently accept signs and whitespace. Overflow
+    // is just as silent (saturates to ULLONG_MAX == npos), so it is
+    // rejected too — a typo'd huge range must not quietly become an
+    // empty or open-ended chunk.
+    const auto digits = [](const char* s, size_t n) {
+        if (n == 0)
+            return false;
+        for (size_t i = 0; i < n; ++i) {
+            if (s[i] < '0' || s[i] > '9')
+                return false;
+        }
+        return true;
+    };
+    const auto parse_pos = [](const char* s, size_t* value) {
+        errno = 0;
+        *value = std::strtoull(s, nullptr, 10);
+        return errno != ERANGE;
+    };
+    if (!digits(text.c_str(), colon))
+        return false;
+    ChunkSpec spec;
+    if (!parse_pos(text.c_str(), &spec.begin))
+        return false;
+    const size_t tail = text.size() - colon - 1;
+    if (tail == 0) {
+        spec.end = npos;
+    } else {
+        if (!digits(text.c_str() + colon + 1, tail))
+            return false;
+        if (!parse_pos(text.c_str() + colon + 1, &spec.end))
+            return false;
+    }
+    if (!spec.valid())
+        return false;
+    *out = spec;
+    return true;
+}
+
+std::string
+ChunkSpec::toString() const
+{
+    return std::to_string(begin) + ':' +
+           (end == npos ? std::string() : std::to_string(end));
+}
+
+std::pair<size_t, size_t>
+ChunkSpec::range(size_t total) const
+{
+    assert(valid());
+    const size_t lo = std::min(begin, total);
+    return {lo, std::max(lo, std::min(end, total))};
+}
+
+bool
+ChunkSpec::contains(size_t pos, size_t total) const
+{
+    const auto r = range(total);
+    return pos >= r.first && pos < r.second;
+}
+
+ChunkSpec
+ChunkSpec::slice(size_t base, size_t count) const
+{
+    assert(valid());
+    const size_t lo =
+        begin <= base ? 0 : std::min(begin - base, count);
+    const size_t hi =
+        end == npos ? count
+                    : (end <= base ? 0 : std::min(end - base, count));
+    return {lo, std::max(lo, hi)};
 }
 
 RunRecord
@@ -162,15 +242,12 @@ Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
     return run(grid, sinks, select, ShardSpec{});
 }
 
-std::vector<RunRecord>
-Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
-            const PointFilter& select, const ShardSpec& shard) const
-{
-    if (!shard.valid())
-        throw std::invalid_argument("invalid shard spec " +
-                                    std::to_string(shard.index) + '/' +
-                                    std::to_string(shard.count));
+namespace {
 
+/** Indices of the points @p select accepts, in ascending order. */
+std::vector<size_t>
+selectedIndices(const SweepGrid& grid, const PointFilter& select)
+{
     const size_t n = grid.size();
     std::vector<size_t> indices;
     indices.reserve(n);
@@ -178,15 +255,16 @@ Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
         if (!select || select(grid.point(i)))
             indices.push_back(i);
     }
-    if (shard.active()) {
-        // Key-range partition of the filtered, index-ordered run.
-        const auto r = shard.range(indices.size());
-        indices = std::vector<size_t>(indices.begin() + long(r.first),
-                                      indices.begin() + long(r.second));
-    }
+    return indices;
+}
 
+/** Run @p indices on a pool and deliver records in index order. */
+std::vector<RunRecord>
+runIndices(const SweepGrid& grid, const std::vector<size_t>& indices,
+           const std::vector<ResultSink*>& sinks, int jobs)
+{
     std::vector<RunRecord> records(indices.size());
-    WorkerPool pool(opts_.jobs);
+    WorkerPool pool(jobs);
     pool.parallelFor(indices.size(), [&](size_t k) {
         records[k] = runGridPoint(grid.point(indices[k]));
     });
@@ -198,6 +276,52 @@ Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
             sink->write(r);
     }
     return records;
+}
+
+} // anonymous namespace
+
+std::vector<RunRecord>
+Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
+            const PointFilter& select, const ShardSpec& shard) const
+{
+    if (!shard.valid())
+        throw std::invalid_argument("invalid shard spec " +
+                                    std::to_string(shard.index) + '/' +
+                                    std::to_string(shard.count));
+
+    std::vector<size_t> indices = selectedIndices(grid, select);
+    if (shard.active()) {
+        // Key-range partition of the filtered, index-ordered run.
+        const auto r = shard.range(indices.size());
+        indices = std::vector<size_t>(indices.begin() + long(r.first),
+                                      indices.begin() + long(r.second));
+    }
+    return runIndices(grid, indices, sinks, opts_.jobs);
+}
+
+std::vector<RunRecord>
+Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
+            const PointFilter& select, const ChunkSpec& chunk) const
+{
+    if (!chunk.valid())
+        throw std::invalid_argument("invalid chunk spec " +
+                                    chunk.toString());
+
+    std::vector<size_t> indices = selectedIndices(grid, select);
+    if (chunk.active()) {
+        // Explicit position range of the filtered ordering.
+        const auto r = chunk.range(indices.size());
+        indices = std::vector<size_t>(indices.begin() + long(r.first),
+                                      indices.begin() + long(r.second));
+    }
+    return runIndices(grid, indices, sinks, opts_.jobs);
+}
+
+std::vector<RunRecord>
+Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
+            const std::vector<size_t>& indices) const
+{
+    return runIndices(grid, indices, sinks, opts_.jobs);
 }
 
 } // namespace engine

@@ -72,6 +72,61 @@ struct ShardSpec {
     bool contains(size_t pos, size_t total) const;
 };
 
+/**
+ * An explicit position-range chunk of a run: the half-open range
+ * [begin, end) of positions in the filtered grid ordering ("B:E" on
+ * the command line, "B:" for to-the-end). The finer-grained sibling
+ * of ShardSpec: where a shard is the K-th of N equal ranges, a chunk
+ * names its positions directly, so one host can split a run into
+ * M >> N chunks and hand them to N workers dynamically as each
+ * finishes (tools/dream_shard) instead of committing to a static
+ * partition up front.
+ *
+ * For benches that stream several grids into one file, chunk
+ * positions are global across the whole run (the concatenation of
+ * every grid's filtered ordering, in scan order) — slice() rebases
+ * the global range onto one grid's window.
+ */
+struct ChunkSpec {
+    /** Open end: the chunk extends to the end of the ordering. */
+    static constexpr size_t npos = size_t(-1);
+
+    size_t begin = 0;  ///< first position
+    size_t end = npos; ///< one past the last position
+
+    /** True for a real sub-range (anything but the whole 0:npos). */
+    bool active() const { return begin != 0 || end != npos; }
+    /** begin <= end. */
+    bool valid() const { return begin <= end; }
+
+    /**
+     * Parse "B:E" (or "B:") into @p out. Returns false (and leaves
+     * @p out untouched) on malformed or invalid input.
+     */
+    static bool parse(const std::string& text, ChunkSpec* out);
+
+    /** "B:E", or "B:" when the end is open. */
+    std::string toString() const;
+
+    /**
+     * The chunk clamped to an ordered sequence of @p total elements:
+     * a half-open position range within [0, total].
+     */
+    std::pair<size_t, size_t> range(size_t total) const;
+
+    /** True if position @p pos of @p total falls in this chunk. */
+    bool contains(size_t pos, size_t total) const;
+
+    /**
+     * The part of this global chunk that falls in the position
+     * window [base, base + count), rebased to the window — i.e. the
+     * local chunk a grid owning global positions base .. base+count
+     * should run. Slices over consecutive windows tile the global
+     * range exactly.
+     */
+    ChunkSpec slice(size_t base, size_t count) const;
+};
+
 /** Simulate one grid point in isolation (runs on worker threads). */
 RunRecord runGridPoint(const SweepGrid::Point& point);
 
@@ -125,6 +180,35 @@ public:
                                const std::vector<ResultSink*>& sinks,
                                const PointFilter& select,
                                const ShardSpec& shard) const;
+
+    /**
+     * Execute one explicit position-range chunk of a (possibly
+     * filtered) run: the points @p select accepts are put in
+     * ascending index order, then only positions [chunk.begin,
+     * chunk.end) of that sequence run (clamped to its length).
+     * Chunks that tile the filtered ordering partition the run
+     * exactly, so merging their records reproduces the unsharded
+     * run byte for byte — the protocol tools/dream_shard drives.
+     *
+     * @throws std::invalid_argument on an invalid chunk spec.
+     */
+    std::vector<RunRecord> run(const SweepGrid& grid,
+                               const std::vector<ResultSink*>& sinks,
+                               const PointFilter& select,
+                               const ChunkSpec& chunk) const;
+
+    /**
+     * Execute exactly the grid points @p indices (ascending flat
+     * indices a caller has already selected). For callers that have
+     * materialised the selection themselves — e.g. bench_main's
+     * --chunk path, which needs the selected positions for the
+     * global cursor anyway — so the engine does not repeat the
+     * filter scan.
+     */
+    std::vector<RunRecord> run(const SweepGrid& grid,
+                               const std::vector<ResultSink*>& sinks,
+                               const std::vector<size_t>& indices)
+        const;
 
     int jobs() const { return opts_.jobs; }
 

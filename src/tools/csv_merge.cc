@@ -9,16 +9,50 @@
 namespace dream {
 namespace tools {
 
-namespace {
+std::vector<ShardRowRef>
+orderShardRows(const std::vector<const engine::CsvTable*>& tables)
+{
+    if (tables.empty())
+        return {};
+    const auto& schema = tables.front()->schema;
+    for (const auto* t : tables) {
+        if (t->schema.paramColumns != schema.paramColumns)
+            throw std::runtime_error(
+                "shard schema mismatch: parameter columns differ "
+                "across inputs (different grids?)");
+    }
 
-/** One row of one input table, addressable for the merge sort. */
-struct RowRef {
-    const engine::CsvTable* table;
-    size_t row;
-    uint64_t index;
-};
-
-} // anonymous namespace
+    // Restore canonical order: every bench writes a globally unique,
+    // increasing index column, so the unsharded row order is the
+    // index order of the union.
+    std::vector<ShardRowRef> rows;
+    for (size_t t = 0; t < tables.size(); ++t) {
+        for (size_t r = 0; r < tables[t]->rows.size(); ++r)
+            rows.push_back({t, r, tables[t]->rowIndex(r)});
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const ShardRowRef& a, const ShardRowRef& b) {
+                         return a.index < b.index;
+                     });
+    for (size_t i = 1; i < rows.size(); ++i) {
+        if (rows[i].index == rows[i - 1].index)
+            throw std::runtime_error(
+                "overlapping shards: row index " +
+                std::to_string(rows[i].index) +
+                " appears in more than one input");
+    }
+    std::unordered_set<std::string> keys;
+    keys.reserve(rows.size());
+    for (const auto& ref : rows) {
+        const std::string key =
+            tables[ref.table]->rowKey(ref.row);
+        if (!keys.insert(key).second)
+            throw std::runtime_error(
+                "overlapping shards: grid point '" + key +
+                "' appears in more than one row");
+    }
+    return rows;
+}
 
 void
 mergeResultCsvs(const std::vector<engine::CsvTable>& inputs,
@@ -32,42 +66,7 @@ mergeResultCsvs(const std::vector<engine::CsvTable>& inputs,
     if (tables.empty())
         return; // all shards empty: the rowless-run CSV is empty too
 
-    const auto& schema = tables.front()->schema;
-    for (const auto* t : tables) {
-        if (t->schema.paramColumns != schema.paramColumns)
-            throw std::runtime_error(
-                "shard schema mismatch: parameter columns differ "
-                "across inputs (different grids?)");
-    }
-
-    // Restore canonical order: every bench writes a globally unique,
-    // increasing index column, so the unsharded row order is the
-    // index order of the union.
-    std::vector<RowRef> rows;
-    for (const auto* t : tables) {
-        for (size_t r = 0; r < t->rows.size(); ++r)
-            rows.push_back({t, r, t->rowIndex(r)});
-    }
-    std::stable_sort(rows.begin(), rows.end(),
-                     [](const RowRef& a, const RowRef& b) {
-                         return a.index < b.index;
-                     });
-    for (size_t i = 1; i < rows.size(); ++i) {
-        if (rows[i].index == rows[i - 1].index)
-            throw std::runtime_error(
-                "overlapping shards: row index " +
-                std::to_string(rows[i].index) +
-                " appears in more than one input");
-    }
-    std::unordered_set<std::string> keys;
-    keys.reserve(rows.size());
-    for (const auto& ref : rows) {
-        const std::string key = ref.table->rowKey(ref.row);
-        if (!keys.insert(key).second)
-            throw std::runtime_error(
-                "overlapping shards: grid point '" + key +
-                "' appears in more than one row");
-    }
+    const auto rows = orderShardRows(tables);
 
     // The breakdown header is the union over all rows in first-seen
     // order — exactly how CsvSink builds it, so a row's carried
@@ -75,10 +74,10 @@ mergeResultCsvs(const std::vector<engine::CsvTable>& inputs,
     // column order.
     std::vector<std::string> breakdown;
     for (const auto& ref : rows) {
-        const auto& sch = ref.table->schema;
+        const auto& sch = tables[ref.table]->schema;
         const size_t begin = sch.breakdownBegin();
         for (size_t c = 0; c < sch.breakdownColumns.size(); ++c) {
-            if (ref.table->rows[ref.row][begin + c].empty())
+            if (tables[ref.table]->rows[ref.row][begin + c].empty())
                 continue;
             const auto& name = sch.breakdownColumns[c];
             if (std::find(breakdown.begin(), breakdown.end(), name) ==
@@ -87,11 +86,12 @@ mergeResultCsvs(const std::vector<engine::CsvTable>& inputs,
         }
     }
 
-    out << engine::csvHeaderLine(schema.paramColumns, breakdown)
+    out << engine::csvHeaderLine(
+               tables.front()->schema.paramColumns, breakdown)
         << '\n';
     for (const auto& ref : rows) {
-        const auto& sch = ref.table->schema;
-        const auto& cells = ref.table->rows[ref.row];
+        const auto& sch = tables[ref.table]->schema;
+        const auto& cells = tables[ref.table]->rows[ref.row];
         const size_t fixed = sch.breakdownBegin();
         for (size_t c = 0; c < fixed; ++c) {
             if (c)

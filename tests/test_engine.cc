@@ -425,6 +425,135 @@ TEST(Engine, ShardComposesWithPointFilter)
     EXPECT_TRUE(mid.empty());
 }
 
+TEST(ChunkSpec, ParsesValidSpecsAndRejectsMalformedOnes)
+{
+    engine::ChunkSpec c;
+    ASSERT_TRUE(engine::ChunkSpec::parse("3:7", &c));
+    EXPECT_EQ(c.begin, 3u);
+    EXPECT_EQ(c.end, 7u);
+    EXPECT_TRUE(c.active());
+    EXPECT_EQ(c.toString(), "3:7");
+
+    ASSERT_TRUE(engine::ChunkSpec::parse("5:5", &c));
+    EXPECT_EQ(c.begin, c.end); // empty chunks are valid
+
+    ASSERT_TRUE(engine::ChunkSpec::parse("4:", &c));
+    EXPECT_EQ(c.begin, 4u);
+    EXPECT_EQ(c.end, engine::ChunkSpec::npos); // open end
+    EXPECT_EQ(c.toString(), "4:");
+
+    ASSERT_TRUE(engine::ChunkSpec::parse("0:", &c));
+    EXPECT_FALSE(c.active()); // the whole ordering
+
+    for (const char* bad :
+         {"", ":", "3", ":7", "7:3", "-1:4", "1:b", "a:4", "1:4x",
+          "1.5:4", " 1:4",
+          // Overflow must be rejected, not saturated to npos.
+          "99999999999999999999:4", "1:99999999999999999999",
+          "99999999999999999999:99999999999999999998"}) {
+        engine::ChunkSpec keep{7, 9};
+        EXPECT_FALSE(engine::ChunkSpec::parse(bad, &keep)) << bad;
+        EXPECT_EQ(keep.begin, 7u) << bad; // untouched on failure
+    }
+}
+
+TEST(ChunkSpec, RangeClampsAndSliceRebasesGlobally)
+{
+    const engine::ChunkSpec c{3, 7};
+    EXPECT_EQ(c.range(100), (std::pair<size_t, size_t>{3, 7}));
+    EXPECT_EQ(c.range(5), (std::pair<size_t, size_t>{3, 5}));
+    EXPECT_EQ(c.range(2), (std::pair<size_t, size_t>{2, 2}));
+    EXPECT_TRUE(c.contains(3, 100));
+    EXPECT_FALSE(c.contains(7, 100));
+
+    const engine::ChunkSpec open{3, engine::ChunkSpec::npos};
+    EXPECT_EQ(open.range(10), (std::pair<size_t, size_t>{3, 10}));
+
+    // slice() rebases a global range onto per-grid windows: the
+    // slices over consecutive windows tile the global chunk, the
+    // multi-grid invariant bench_main's cursor relies on.
+    const engine::ChunkSpec global{5, 15};
+    const auto a = global.slice(0, 10);  // window [0, 10)
+    const auto b = global.slice(10, 10); // window [10, 20)
+    const auto d = global.slice(20, 10); // window [20, 30)
+    EXPECT_EQ(a.begin, 5u);
+    EXPECT_EQ(a.end, 10u);
+    EXPECT_EQ(b.begin, 0u);
+    EXPECT_EQ(b.end, 5u);
+    EXPECT_EQ(d.begin, d.end); // past the chunk: empty
+    const size_t sliced = (a.end - a.begin) + (b.end - b.begin) +
+                          (d.end - d.begin);
+    EXPECT_EQ(sliced, global.end - global.begin);
+
+    // An open-ended chunk covers every later window fully.
+    const auto tail = open.slice(10, 4);
+    EXPECT_EQ(tail.begin, 0u);
+    EXPECT_EQ(tail.end, 4u);
+}
+
+TEST(Engine, ChunkedRunsPartitionTheGrid)
+{
+    const auto grid = smallGrid();
+    const auto full = engine::Engine({1}).run(grid);
+    ASSERT_EQ(full.size(), 8u);
+
+    // Deliberately uneven chunks (the orchestrator hands out
+    // whatever tiles the ordering) stitch back into the full run.
+    std::vector<engine::RunRecord> stitched;
+    for (const auto& c : {engine::ChunkSpec{0, 3},
+                          engine::ChunkSpec{3, 4},
+                          engine::ChunkSpec{4, 8}}) {
+        const auto part = engine::Engine({2}).run(
+            grid, {}, engine::PointFilter{}, c);
+        stitched.insert(stitched.end(), part.begin(), part.end());
+    }
+    ASSERT_EQ(stitched.size(), full.size());
+    for (size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(stitched[i].key(), full[i].key());
+        EXPECT_EQ(stitched[i].uxCost, full[i].uxCost) << i;
+        EXPECT_EQ(stitched[i].index, full[i].index) << i;
+    }
+
+    // Ranges beyond the grid clamp to empty; invalid specs throw.
+    EXPECT_TRUE(engine::Engine({1})
+                    .run(grid, {}, engine::PointFilter{},
+                         engine::ChunkSpec{20, 30})
+                    .empty());
+    EXPECT_THROW(engine::Engine({1}).run(grid, {},
+                                         engine::PointFilter{},
+                                         engine::ChunkSpec{5, 2}),
+                 std::invalid_argument);
+}
+
+TEST(Engine, ChunkComposesWithPointFilter)
+{
+    const auto grid = smallGrid();
+    const auto filter = [](const engine::SweepGrid::Point& p) {
+        return p.key().find("seed=1") != std::string::npos;
+    };
+    const auto filtered = engine::Engine({1}).run(grid, {}, filter);
+    ASSERT_EQ(filtered.size(), 4u);
+
+    // Chunks address positions of the FILTERED sequence.
+    const auto head = engine::Engine({1}).run(
+        grid, {}, filter, engine::ChunkSpec{0, 3});
+    const auto tail = engine::Engine({1}).run(
+        grid, {}, filter, engine::ChunkSpec{3, 4});
+    ASSERT_EQ(head.size() + tail.size(), filtered.size());
+    for (size_t i = 0; i < head.size(); ++i)
+        EXPECT_EQ(head[i].key(), filtered[i].key());
+    for (size_t i = 0; i < tail.size(); ++i)
+        EXPECT_EQ(tail[i].key(), filtered[3 + i].key());
+
+    // An all-rejecting filter leaves every chunk empty.
+    const auto none = engine::Engine({1}).run(
+        grid, {}, [](const engine::SweepGrid::Point&) {
+            return false;
+        },
+        engine::ChunkSpec{0, 4});
+    EXPECT_TRUE(none.empty());
+}
+
 TEST(ReindexSink, ShiftsIndicesAndToleratesNullInner)
 {
     std::ostringstream out;

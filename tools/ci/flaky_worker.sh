@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI fault injector for dream_shard: the first *chunk* invocation
+# that sees no marker file kills itself (SIGKILL, as a crashed
+# worker would die), leaving the marker behind so every later
+# invocation — including the retry of the killed chunk — runs the
+# real bench. The orchestrator's --list probe carries no --chunk and
+# passes through untouched. The orchestrator must requeue the killed
+# chunk onto another attempt and still produce output byte-identical
+# to the unsharded run.
+#
+# Usage: FLAKY_MARKER=/tmp/marker flaky_worker.sh BENCH [ARGS...]
+set -eu
+
+: "${FLAKY_MARKER:?set FLAKY_MARKER to a writable marker path}"
+
+bench="$1"
+shift
+
+is_chunk_run=false
+for arg in "$@"; do
+    [ "$arg" = "--chunk" ] && is_chunk_run=true
+done
+
+if $is_chunk_run && [ ! -e "$FLAKY_MARKER" ]; then
+    touch "$FLAKY_MARKER"
+    kill -9 $$
+fi
+
+exec "$bench" "$@"

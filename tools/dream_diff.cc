@@ -1,9 +1,12 @@
 /**
  * @file
- * dream_diff: compare two result CSVs from the same grid ("same
+ * dream_diff: compare two result files from the same grid ("same
  * grid, two builds, same results" — the CI regression gate). Rows
  * are keyed by grid point; value columns compare numerically under
- * global or per-column absolute/relative tolerances.
+ * global or per-column absolute/relative tolerances. Each input may
+ * be a result CSV or a `--json` bench run (sniffed from the
+ * content), and the two formats mix freely — a JSON candidate diffs
+ * against a CSV baseline.
  *
  * Exit codes: 0 = no differences (always 0 without --fail-on-diff),
  * 1 = differences found and --fail-on-diff given, 2 = usage or
@@ -18,6 +21,7 @@
 
 #include "engine/result_sink.h"
 #include "tools/csv_diff.h"
+#include "tools/json_result.h"
 
 using namespace dream;
 
@@ -27,7 +31,7 @@ void
 printUsage(const char* prog)
 {
     std::printf(
-        "usage: %s [options] BASELINE.csv CANDIDATE.csv\n"
+        "usage: %s [options] BASELINE CANDIDATE\n"
         "  --abs-tol V          global absolute tolerance "
         "(default 0)\n"
         "  --rel-tol V          global relative tolerance "
@@ -35,9 +39,10 @@ printUsage(const char* prog)
         "  --tol COL=ABS[:REL]  per-column tolerance override\n"
         "  --fail-on-diff       exit 1 when differences are found\n"
         "  --json               machine-readable JSON summary\n"
-        "compares result CSVs keyed by grid point "
-        "(scenario/system/scheduler/\nparams/seed); reports "
-        "added/removed grid points and out-of-tolerance\ncells. "
+        "compares result files (CSV or --json bench output, sniffed "
+        "from the\ncontent; formats may mix) keyed by grid point "
+        "(scenario/system/\nscheduler/params/seed); reports "
+        "added/removed grid points and\nout-of-tolerance cells. "
         "NaN compares equal to NaN.\n",
         prog);
 }
@@ -135,8 +140,8 @@ main(int argc, char** argv)
     }
 
     try {
-        const auto a = engine::readResultCsv(path_a);
-        const auto b = engine::readResultCsv(path_b);
+        const auto a = tools::readResultTable(path_a);
+        const auto b = tools::readResultTable(path_b);
         const auto result = tools::diffResultCsvs(a, b, options);
         if (json)
             tools::printDiffJson(result, std::cout);

@@ -1,22 +1,25 @@
 /**
  * @file
- * dream_merge: merge N shard CSVs (`bench --shard K/N --out`) back
- * into the canonical single-run result CSV. Inputs may be given in
- * any order; the merged file is byte-identical to the unsharded
- * `--out` of the same bench. Exits 0 on success, 2 on any error
- * (unreadable input, schema mismatch, overlapping shards).
+ * dream_merge: merge N shard or chunk result files (`bench --shard
+ * K/N --out` / `bench --chunk B:E --out`) back into the canonical
+ * single-run file. Both result formats merge: CSV inputs rebuild
+ * the unsharded CSV, JSON inputs (`--json` bench runs, sniffed from
+ * the content or forced with --json) rebuild the unsharded JSON
+ * array — byte-identical either way, in any input order. Exits 0 on
+ * success, 2 on any error (unreadable input, mixed formats, schema
+ * mismatch, overlapping shards).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "engine/result_sink.h"
-#include "tools/csv_merge.h"
+#include "tools/json_result.h"
 
 using namespace dream;
 
@@ -25,12 +28,17 @@ namespace {
 void
 printUsage(const char* prog)
 {
-    std::printf("usage: %s [--out FILE] SHARD.csv [SHARD.csv ...]\n"
-                "  --out F   write the merged CSV to F (default: "
+    std::printf("usage: %s [--out FILE] [--json] SHARD "
+                "[SHARD ...]\n"
+                "  --out F   write the merged result to F (default: "
                 "stdout)\n"
-                "merges shard result CSVs (bench --shard K/N --out) "
-                "back into the\ncanonical single-run CSV; errors on "
-                "overlapping shards or mixed grids\n",
+                "  --json    treat inputs/output as result JSON "
+                "(otherwise\n            sniffed from the input "
+                "content)\n"
+                "merges shard/chunk result files (bench --shard K/N "
+                "or --chunk B:E,\nCSV or --json) back into the "
+                "canonical single-run file; errors on\nmixed "
+                "formats, overlapping shards or mixed grids\n",
                 prog);
 }
 
@@ -40,11 +48,14 @@ int
 main(int argc, char** argv)
 {
     std::string out_path;
+    bool force_json = false;
     std::vector<std::string> inputs;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--json") {
+            force_json = true;
         } else if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
             return 0;
@@ -64,28 +75,46 @@ main(int argc, char** argv)
     }
 
     try {
-        std::vector<engine::CsvTable> tables;
-        tables.reserve(inputs.size());
-        for (const auto& path : inputs)
-            tables.push_back(engine::readResultCsv(path));
+        // Format: --json forces JSON; otherwise the non-empty
+        // inputs decide (and must agree). Empty files — rowless
+        // shards — are compatible with either.
+        bool saw_csv = false, saw_json = false;
+        for (const auto& path : inputs) {
+            switch (tools::sniffResultFormat(path)) {
+              case tools::ResultFormat::Csv:  saw_csv = true;  break;
+              case tools::ResultFormat::Json: saw_json = true; break;
+              case tools::ResultFormat::Empty:                 break;
+            }
+        }
+        if (saw_csv && saw_json)
+            throw std::runtime_error(
+                "mixed CSV and JSON inputs cannot be merged");
+        if (force_json && saw_csv)
+            throw std::runtime_error(
+                "--json given but the inputs are CSV");
+        const bool json = force_json || saw_json;
+
+        // Merge into a buffer BEFORE opening (truncating) --out, so
+        // a malformed or overlapping shard cannot destroy a
+        // previous good merge: --out is only touched once the whole
+        // merge has succeeded.
+        std::ostringstream buffer;
+        const size_t rows =
+            tools::mergeResultFiles(inputs, json, buffer);
 
         if (out_path.empty()) {
-            tools::mergeResultCsvs(tables, std::cout);
+            std::cout << buffer.str() << std::flush;
         } else {
-            std::ofstream out(out_path);
-            if (!out.is_open()) {
+            std::ofstream out_file(out_path);
+            if (!out_file.is_open()) {
                 std::fprintf(stderr,
                              "cannot open --out file for writing: "
                              "%s\n",
                              out_path.c_str());
                 return 2;
             }
-            tools::mergeResultCsvs(tables, out);
+            out_file << buffer.str() << std::flush;
         }
-
-        size_t rows = 0;
-        for (const auto& t : tables)
-            rows += t.rows.size();
         std::fprintf(stderr, "merged %zu rows from %zu shard(s)\n",
                      rows, inputs.size());
     } catch (const std::exception& e) {
