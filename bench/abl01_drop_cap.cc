@@ -54,7 +54,7 @@ main(int argc, char** argv)
         return 0;
 
     engine::AggregateSink agg;
-    engine::Engine eng({opts.jobs});
+    engine::Engine eng(bench::engineOptions(opts));
     eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
 
     std::printf("Ablation: max frame-drop rate (VR_Gaming @ 99%% "

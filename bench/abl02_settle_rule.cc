@@ -53,7 +53,7 @@ main(int argc, char** argv)
         return 0;
 
     engine::AggregateSink agg;
-    engine::Engine eng({opts.jobs});
+    engine::Engine eng(bench::engineOptions(opts));
     eng.run(grid, bench::sinkList({&agg, file_sink.get()}));
     const auto cells = agg.cells();
 

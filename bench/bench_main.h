@@ -21,6 +21,17 @@
  *                 scans. Mutually exclusive with --shard; chunk
  *                 files that tile the ordering merge back into the
  *                 unsharded --out byte for byte with dream_merge.
+ *   --record-trace DIR
+ *                 write every executed grid point's per-frame trace
+ *                 to DIR/<point key>.trace.csv (self-describing:
+ *                 the grid identity rides along as "# key=value"
+ *                 metadata). Replay with bench/trace_replay and
+ *                 gate with dream_diff — the record -> replay ->
+ *                 diff regression loop.
+ *
+ * Malformed values of any flag (e.g. a --chunk with B > E,
+ * non-numeric or negative positions) are rejected with an error and
+ * exit code 2 — never silently mapped to an empty selection.
  *
  * Parallel runs are bit-identical to --jobs 1: the engine orders
  * records by grid index before any sink sees them — with and without
@@ -30,8 +41,10 @@
 #ifndef DREAM_BENCH_BENCH_MAIN_H
 #define DREAM_BENCH_BENCH_MAIN_H
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -55,6 +68,7 @@ struct Options {
     bool sharded = false;  ///< --shard was given
     engine::ChunkSpec chunk; ///< --chunk B:E; 0:npos without the flag
     bool chunked = false;  ///< --chunk was given
+    std::string traceDir;  ///< --record-trace dir; empty = none
 
     /**
      * Global positions consumed by previous runOrList calls.
@@ -63,6 +77,14 @@ struct Options {
      * benches hold a const Options).
      */
     mutable size_t chunkCursor = 0;
+
+    /**
+     * The stdout CSV sink shared by every runOrList call of a subset
+     * run. Lazily created, closed (flushed) when the Options go out
+     * of scope — so a bench that scans several grids emits ONE
+     * header and one contiguous row stream, not a header per grid.
+     */
+    mutable std::shared_ptr<engine::CsvSink> stdoutSink;
 
     /** True when only a grid subset should run (then exit). */
     bool subsetRun() const
@@ -84,11 +106,45 @@ struct Options {
     }
 };
 
+/**
+ * True when grid-point key @p key is selected by --filter (an empty
+ * filter selects everything). THE definition of --filter semantics:
+ * runOrList and benches that pre-compute selections (trace_replay's
+ * --shard rewrite) must both use it so their counts agree.
+ */
+inline bool
+filterSelects(const Options& opts, const std::string& key)
+{
+    return opts.filter.empty() ||
+           key.find(opts.filter) != std::string::npos;
+}
+
+/** The engine options a bench run should use (jobs + trace dir). */
+inline engine::EngineOptions
+engineOptions(const Options& opts)
+{
+    engine::EngineOptions eopts;
+    eopts.jobs = opts.jobs;
+    eopts.traceDir = opts.traceDir;
+    return eopts;
+}
+
+/**
+ * A bench-specific string flag parseArgs() accepts in addition to
+ * the shared set (e.g. trace_replay's --traces DIR).
+ */
+struct ExtraFlag {
+    const char* flag;   ///< e.g. "--traces"
+    std::string* value; ///< receives the flag's argument
+    const char* help;   ///< one-line description for --help
+};
+
 inline void
-printUsage(const char* prog)
+printUsage(const char* prog, const std::vector<ExtraFlag>& extra = {})
 {
     std::printf("usage: %s [--jobs N] [--out FILE [--json]] "
-                "[--list | --filter S] [--shard K/N | --chunk B:E]\n"
+                "[--list | --filter S] [--shard K/N | --chunk B:E] "
+                "[--record-trace DIR]\n"
                 "  --jobs N     worker threads (0 = all cores; "
                 "default 1)\n"
                 "  --out F      write engine result rows to F\n"
@@ -104,18 +160,31 @@ printUsage(const char* prog)
                 "  --chunk B:E  run only positions [B, E) of the "
                 "filtered grid\n               ordering (the "
                 "dream_shard chunk protocol;\n               "
-                "chunk files merge with dream_merge too)\n",
+                "chunk files merge with dream_merge too)\n"
+                "  --record-trace DIR\n"
+                "               write each executed grid point's "
+                "per-frame trace\n               to DIR (replay "
+                "with trace_replay, gate with\n               "
+                "dream_diff)\n",
                 prog);
+    for (const auto& e : extra)
+        std::printf("  %s  %s\n", e.flag, e.help);
 }
 
-/** Parse the shared flags; exits on --help or unknown arguments. */
+/** Parse the shared flags (plus any @p extra bench-specific string
+ *  flags); exits on --help or unknown arguments. */
 inline Options
-parseArgs(int argc, char** argv)
+parseArgs(int argc, char** argv, const std::vector<ExtraFlag>& extra = {})
 {
     Options opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+        const auto extra_it = std::find_if(
+            extra.begin(), extra.end(),
+            [&](const ExtraFlag& e) { return arg == e.flag; });
+        if (extra_it != extra.end() && i + 1 < argc) {
+            *extra_it->value = argv[++i];
+        } else if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
             char* end = nullptr;
             opts.jobs = int(std::strtol(argv[++i], &end, 10));
             if (end == argv[i] || *end != '\0') {
@@ -147,14 +216,32 @@ parseArgs(int argc, char** argv)
                 std::exit(2);
             }
             opts.chunked = true;
+        } else if (arg == "--record-trace" && i + 1 < argc) {
+            opts.traceDir = argv[++i];
+            if (opts.traceDir.empty()) {
+                std::fprintf(stderr,
+                             "--record-trace needs a directory\n");
+                std::exit(2);
+            }
+            // Fail up front, not via a worker-thread exception after
+            // minutes of sweeping: the directory must be creatable.
+            try {
+                std::filesystem::create_directories(opts.traceDir);
+            } catch (const std::filesystem::filesystem_error& e) {
+                std::fprintf(stderr,
+                             "cannot create --record-trace "
+                             "directory %s: %s\n",
+                             opts.traceDir.c_str(), e.what());
+                std::exit(2);
+            }
         } else if (arg == "--list") {
             opts.list = true;
         } else if (arg == "--help" || arg == "-h") {
-            printUsage(argv[0]);
+            printUsage(argv[0], extra);
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-            printUsage(argv[0]);
+            printUsage(argv[0], extra);
             std::exit(2);
         }
     }
@@ -237,8 +324,7 @@ runOrList(const Options& opts, const engine::SweepGrid& grid,
         opts.filter.empty()
             ? engine::PointFilter{}
             : [&](const engine::SweepGrid::Point& p) {
-                  return p.key().find(opts.filter) !=
-                         std::string::npos;
+                  return filterSelects(opts, p.key());
               };
 
     // Only --list and --chunk need the selected positions up front
@@ -274,10 +360,14 @@ runOrList(const Options& opts, const engine::SweepGrid& grid,
     if (!opts.subsetRun())
         return true;
 
-    engine::CsvSink stdout_sink(std::cout);
-    engine::ReindexSink shifted_stdout(&stdout_sink, index_base);
+    if (!opts.stdoutSink)
+        opts.stdoutSink = std::make_shared<engine::CsvSink>(std::cout);
+    engine::ReindexSink shifted_stdout(opts.stdoutSink.get(),
+                                       index_base);
     engine::ReindexSink shifted_file(file_sink, index_base);
-    engine::Engine eng({opts.jobs});
+    auto eopts = engineOptions(opts);
+    eopts.traceIndexBase = index_base;
+    engine::Engine eng(eopts);
     const auto sinks = sinkList({&shifted_stdout, &shifted_file});
     std::vector<engine::RunRecord> records;
     if (opts.chunked) {
@@ -292,7 +382,11 @@ runOrList(const Options& opts, const engine::SweepGrid& grid,
     } else {
         records = eng.run(grid, sinks, select, opts.shard);
     }
-    stdout_sink.close(); // CSV rows buffer until close
+    // CSV rows buffer in the shared stdout sink until the Options go
+    // out of scope: the header needs the union of breakdown columns
+    // across every grid the bench streams. (Like --out — whose
+    // CsvSink buffers the same way — buffered rows are lost if the
+    // process dies without unwinding.)
     const std::string subset_desc =
         opts.chunked ? "--chunk " + opts.chunk.toString()
                      : "--shard " + opts.shard.toString();

@@ -32,7 +32,7 @@ main(int argc, char** argv)
                 "VR_Gaming on %s\n\n", system.name.c_str());
 
     constexpr int n = 9;
-    engine::Engine eng({opts.jobs});
+    engine::Engine eng(bench::engineOptions(opts));
     const auto grid = engine::paramSpaceGrid(sys_preset, sc_preset, n);
     auto file_sink = bench::makeFileSink(opts);
     if (!bench::runOrList(opts, grid, file_sink.get()))

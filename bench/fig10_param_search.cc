@@ -52,7 +52,6 @@ main(int argc, char** argv)
          workload::ScenarioPreset::ArSocial, 0.0, 0.0},
     };
 
-    engine::Engine eng({opts.jobs});
     engine::WorkerPool pool(opts.jobs);
     auto file_sink = bench::makeFileSink(opts);
 
@@ -95,9 +94,13 @@ main(int argc, char** argv)
             const auto grid =
                 engine::paramSpaceGrid(sys_preset, c.preset, 7);
             engine::ReindexSink shifted(file_sink.get(), next_base);
+            // Recorded trace metadata carries the same global row
+            // index the --out CSV does.
+            auto eopts = bench::engineOptions(opts);
+            eopts.traceIndexBase = next_base;
             next_base += grid.size();
-            const auto records =
-                eng.run(grid, bench::sinkList({&shifted}));
+            const auto records = engine::Engine(eopts).run(
+                grid, bench::sinkList({&shifted}));
             optima[c.preset] = engine::bestParams(records);
         }
         const auto best = optima[c.preset];

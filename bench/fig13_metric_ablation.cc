@@ -37,6 +37,12 @@ main(int argc, char** argv)
                              "apply\n");
         return 0;
     }
+    if (!opts.traceDir.empty()) {
+        std::fprintf(stderr, "fig13 runs parameter searches outside "
+                             "the engine; --record-trace does not "
+                             "apply\n");
+        return 2;
+    }
 
     // --shard/--chunk on this grid-less bench partition its fixed
     // result row sequence (the searches all run; only row emission

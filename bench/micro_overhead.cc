@@ -127,7 +127,7 @@ main(int argc, char** argv)
     if (!bench::runOrList(opts, grid, file_sink.get()))
         return 0;
 
-    engine::Engine eng({opts.jobs});
+    engine::Engine eng(bench::engineOptions(opts));
     const auto records =
         eng.run(grid, bench::sinkList({file_sink.get()}));
 

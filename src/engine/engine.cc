@@ -4,7 +4,12 @@
 #include <cassert>
 #include <cerrno>
 #include <climits>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -12,6 +17,8 @@
 #include "costmodel/cost_table.h"
 #include "engine/worker_pool.h"
 #include "metrics/uxcost.h"
+#include "runner/table.h"
+#include "runner/trace.h"
 #include "sim/simulator.h"
 
 namespace dream {
@@ -144,8 +151,75 @@ ChunkSpec::slice(size_t base, size_t count) const
     return {lo, std::max(lo, hi)};
 }
 
+std::string
+traceFileName(const SweepGrid::Point& point)
+{
+    std::string name = point.key();
+    // FNV-1a over the RAW key: two keys that sanitize identically
+    // (e.g. "Mix A" vs "Mix@A") must not overwrite each other's
+    // trace file — the hash suffix keeps the names distinct while
+    // staying a pure function of the key, so a replay re-records to
+    // the same file name.
+    uint64_t hash = 1469598103934665603ull;
+    for (const char c : name) {
+        hash ^= uint64_t(uint8_t(c));
+        hash *= 1099511628211ull;
+    }
+    for (char& c : name) {
+        const bool keep =
+            (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+            (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+            c == '=' || c == '+' || c == '-';
+        if (!keep)
+            c = '_';
+    }
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "-%08x",
+                  unsigned(hash & 0xffffffffu));
+    return name + suffix + ".trace.csv";
+}
+
+namespace {
+
+/** Record one run's frame trace under @p trace_dir (see
+ *  EngineOptions::traceDir). Throws on I/O failure — a sweep that
+ *  silently recorded nothing must not look like a successful
+ *  recording. */
+void
+recordTrace(const std::string& trace_dir, const SweepGrid::Point& point,
+            size_t index_base, const workload::Scenario& scenario,
+            const sim::RunStats& stats)
+{
+    std::filesystem::create_directories(trace_dir);
+    const std::string path = trace_dir + '/' + traceFileName(point);
+    std::ofstream out(path);
+    if (!out.is_open())
+        throw std::runtime_error("cannot open trace file for "
+                                 "writing: " + path);
+    runner::TraceMeta meta;
+    meta.push_back({"scenario", point.scenario});
+    meta.push_back({"system", point.system});
+    meta.push_back({"scheduler", point.scheduler});
+    std::string params;
+    for (const auto& kv : point.params) {
+        if (!params.empty())
+            params += ',';
+        params += kv.first + '=' + formatValue(kv.second);
+    }
+    meta.push_back({"params", params});
+    meta.push_back({"seed", std::to_string(point.seed)});
+    meta.push_back({"window_us", runner::preciseDouble(point.windowUs)});
+    meta.push_back({"index", std::to_string(index_base + point.index)});
+    runner::writeFrameTraceCsv(out, stats, scenario, meta);
+    if (!out)
+        throw std::runtime_error("short write to trace file: " + path);
+}
+
+} // anonymous namespace
+
 RunRecord
-runGridPoint(const SweepGrid::Point& point)
+runGridPoint(const SweepGrid::Point& point, const std::string& trace_dir,
+             size_t trace_index_base)
 {
     // Materialise everything locally: workers share nothing mutable.
     const workload::Scenario scenario = (*point.makeScenario)();
@@ -160,8 +234,18 @@ runGridPoint(const SweepGrid::Point& point)
     sim::SimConfig cfg;
     cfg.windowUs = point.windowUs;
     cfg.seed = point.seed;
+    std::unique_ptr<workload::ReplaySource> replay;
+    if (point.trace) {
+        // Trace-replay scenario: inject the recorded arrival/deadline
+        // sequence; paths re-materialise from (scenario, seed).
+        replay = std::make_unique<workload::ReplaySource>(
+            scenario, cfg.seed, *point.trace);
+        cfg.arrivals = replay.get();
+    }
     sim::Simulator simulator(system, scenario, costs, cfg);
     const sim::RunStats stats = simulator.run(*sched);
+    if (!trace_dir.empty())
+        recordTrace(trace_dir, point, trace_index_base, scenario, stats);
 
     RunRecord r;
     r.index = point.index;
@@ -261,12 +345,13 @@ selectedIndices(const SweepGrid& grid, const PointFilter& select)
 /** Run @p indices on a pool and deliver records in index order. */
 std::vector<RunRecord>
 runIndices(const SweepGrid& grid, const std::vector<size_t>& indices,
-           const std::vector<ResultSink*>& sinks, int jobs)
+           const std::vector<ResultSink*>& sinks, const EngineOptions& opts)
 {
     std::vector<RunRecord> records(indices.size());
-    WorkerPool pool(jobs);
+    WorkerPool pool(opts.jobs);
     pool.parallelFor(indices.size(), [&](size_t k) {
-        records[k] = runGridPoint(grid.point(indices[k]));
+        records[k] = runGridPoint(grid.point(indices[k]), opts.traceDir,
+                                  opts.traceIndexBase);
     });
 
     for (ResultSink* sink : sinks) {
@@ -296,7 +381,7 @@ Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
         indices = std::vector<size_t>(indices.begin() + long(r.first),
                                       indices.begin() + long(r.second));
     }
-    return runIndices(grid, indices, sinks, opts_.jobs);
+    return runIndices(grid, indices, sinks, opts_);
 }
 
 std::vector<RunRecord>
@@ -314,14 +399,14 @@ Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
         indices = std::vector<size_t>(indices.begin() + long(r.first),
                                       indices.begin() + long(r.second));
     }
-    return runIndices(grid, indices, sinks, opts_.jobs);
+    return runIndices(grid, indices, sinks, opts_);
 }
 
 std::vector<RunRecord>
 Engine::run(const SweepGrid& grid, const std::vector<ResultSink*>& sinks,
             const std::vector<size_t>& indices) const
 {
-    return runIndices(grid, indices, sinks, opts_.jobs);
+    return runIndices(grid, indices, sinks, opts_);
 }
 
 } // namespace engine

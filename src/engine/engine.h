@@ -25,8 +25,30 @@ namespace engine {
 
 /** Engine knobs. */
 struct EngineOptions {
+    EngineOptions() = default;
+    EngineOptions(int jobs_, std::string trace_dir = {})
+        : jobs(jobs_), traceDir(std::move(trace_dir))
+    {}
+
     /** Worker threads; <= 0 selects hardware concurrency. */
     int jobs = 1;
+    /**
+     * When non-empty, every executed grid point writes its per-frame
+     * trace to "<traceDir>/<sanitized point key>.trace.csv" (created
+     * on demand), with the point's identity as "# key=value"
+     * metadata — the record side of the record -> replay ->
+     * dream_diff regression loop. Replayable via
+     * workload::ReplaySource / SweepGrid::addTraceReplay /
+     * bench/trace_replay.
+     */
+    std::string traceDir;
+    /**
+     * Added to point.index in recorded "# index=" metadata. Benches
+     * that stream several grids into one result file (ReindexSink)
+     * pass their per-grid row base here, so a trace's metadata index
+     * always equals the point's row index in the --out CSV.
+     */
+    size_t traceIndexBase = 0;
 };
 
 /** Grid-point predicate for subset runs (--filter). */
@@ -127,8 +149,26 @@ struct ChunkSpec {
     ChunkSpec slice(size_t base, size_t count) const;
 };
 
-/** Simulate one grid point in isolation (runs on worker threads). */
-RunRecord runGridPoint(const SweepGrid::Point& point);
+/**
+ * Simulate one grid point in isolation (runs on worker threads).
+ * Points of a trace-replay scenario (point.trace set) run through a
+ * workload::ReplaySource. A non-empty @p trace_dir records the run's
+ * frame trace, with @p trace_index_base added to the recorded
+ * "# index=" metadata (see EngineOptions).
+ */
+RunRecord runGridPoint(const SweepGrid::Point& point,
+                       const std::string& trace_dir = {},
+                       size_t trace_index_base = 0);
+
+/**
+ * The trace-file name a grid point records to under
+ * EngineOptions::traceDir: the point key with every character
+ * outside [A-Za-z0-9._=+-] replaced by '_', plus "-<hash>" of the
+ * raw key (so keys that sanitize identically cannot overwrite each
+ * other's file) and ".trace.csv". A pure function of the key —
+ * re-recording a replayed point lands on the same name.
+ */
+std::string traceFileName(const SweepGrid::Point& point);
 
 /**
  * Fill a record's metric fields — including breakdown columns such
@@ -142,7 +182,10 @@ void fillMetrics(RunRecord& record, const sim::RunStats& stats);
 /** Parallel sweep driver. */
 class Engine {
 public:
-    explicit Engine(EngineOptions opts = {}) : opts_(opts) {}
+    explicit Engine(EngineOptions opts = {}) : opts_(std::move(opts))
+    {}
+    /** Engine({N}) shorthand: N worker threads, no trace recording. */
+    explicit Engine(int jobs) : opts_(jobs) {}
 
     /**
      * Execute every point of @p grid, then deliver all records to

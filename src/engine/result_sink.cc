@@ -7,6 +7,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runner/table.h"
+
 namespace dream {
 namespace engine {
 
@@ -47,18 +49,10 @@ jsonString(const std::string& s)
 std::string
 csvQuote(const std::string& s)
 {
-    // '\r' is quoted too: the reader strips bare CRs (Windows line
-    // endings), so an unquoted CR would not round-trip.
-    if (s.find_first_of(",\"\n\r") == std::string::npos)
-        return s;
-    std::string out = "\"";
-    for (const char c : s) {
-        if (c == '"')
-            out += '"';
-        out += c;
-    }
-    out += '"';
-    return out;
+    // One quoting rule repo-wide: result sinks, the merge/diff
+    // toolchain and the frame-trace writer all share
+    // runner::csvQuote, so cells round-trip across layers.
+    return runner::csvQuote(s);
 }
 
 const std::vector<std::string>&
@@ -201,55 +195,7 @@ CsvSink::close()
 
 namespace {
 
-/**
- * Split one logical CSV record off @p in into unquoted cells.
- * Handles quoted cells (including embedded newlines and doubled
- * quotes). Returns false at end of input.
- */
-bool
-readCsvRecord(std::istream& in, std::vector<std::string>& cells)
-{
-    cells.clear();
-    int c = in.get();
-    if (c == std::istream::traits_type::eof())
-        return false;
-
-    std::string cell;
-    bool quoted = false;
-    for (;; c = in.get()) {
-        if (c == std::istream::traits_type::eof()) {
-            if (quoted)
-                throw std::runtime_error(
-                    "unterminated quoted CSV cell");
-            break;
-        }
-        if (quoted) {
-            if (c == '"') {
-                if (in.peek() == '"') {
-                    cell += '"';
-                    in.get();
-                } else {
-                    quoted = false;
-                }
-            } else {
-                cell += char(c);
-            }
-            continue;
-        }
-        if (c == '"' && cell.empty()) {
-            quoted = true;
-        } else if (c == ',') {
-            cells.push_back(std::move(cell));
-            cell.clear();
-        } else if (c == '\n') {
-            break;
-        } else if (c != '\r') {
-            cell += char(c);
-        }
-    }
-    cells.push_back(std::move(cell));
-    return true;
-}
+using runner::readCsvRecord;
 
 /** Parse and structurally validate a result-CSV header. */
 CsvSchema

@@ -78,7 +78,24 @@ SweepGrid&
 SweepGrid::addScenario(std::string name,
                        std::function<workload::Scenario()> make)
 {
-    scenarios_.push_back({std::move(name), std::move(make)});
+    scenarios_.push_back({std::move(name), std::move(make), nullptr});
+    return *this;
+}
+
+SweepGrid&
+SweepGrid::addTraceReplay(TraceReplaySpec spec)
+{
+    assert(spec.trace && "trace replay needs a recorded trace");
+    scenarios_.push_back({std::move(spec.name), std::move(spec.make),
+                          std::move(spec.trace)});
+    return *this;
+}
+
+SweepGrid&
+SweepGrid::addTraceReplays(std::vector<TraceReplaySpec> specs)
+{
+    for (auto& spec : specs)
+        addTraceReplay(std::move(spec));
     return *this;
 }
 
@@ -212,6 +229,7 @@ SweepGrid::point(size_t index) const
     p.makeScenario = &scenarios_[sc_i].make;
     p.makeSystem = &systems_[sys_i].make;
     p.makeScheduler = &schedulers_[sched_i].make;
+    p.trace = scenarios_[sc_i].trace.get();
     return p;
 }
 

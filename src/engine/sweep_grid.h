@@ -22,6 +22,7 @@
 #include "hw/system.h"
 #include "runner/experiment.h"
 #include "sim/scheduler.h"
+#include "workload/replay_source.h"
 #include "workload/scenario.h"
 #include "workload/scenario_gen.h"
 
@@ -56,6 +57,23 @@ using SchedulerFactory = std::function<std::unique_ptr<sim::Scheduler>(
 struct ScenarioSpec {
     std::string name;
     std::function<workload::Scenario()> make;
+    /**
+     * Recorded trace replayed as this scenario's arrivals; null for
+     * generative scenarios. When set, every grid point of this
+     * scenario drives the simulator through a workload::ReplaySource,
+     * so all scheduler/config points see byte-identical load.
+     */
+    std::shared_ptr<const workload::FrameTrace> trace;
+};
+
+/** One recorded trace offered to SweepGrid::addTraceReplays. */
+struct TraceReplaySpec {
+    /** Scenario-axis name of the replay (grid keys, sink rows). */
+    std::string name;
+    /** Factory of the recorded scenario (same task list). */
+    std::function<workload::Scenario()> make;
+    /** The recorded trace. */
+    std::shared_ptr<const workload::FrameTrace> trace;
 };
 
 /** One named value of the system axis. */
@@ -95,6 +113,8 @@ public:
             nullptr;
         const std::function<hw::SystemConfig()>* makeSystem = nullptr;
         const SchedulerFactory* makeScheduler = nullptr;
+        /** Recorded trace to replay as arrivals; null = generate. */
+        const workload::FrameTrace* trace = nullptr;
 
         /** Stable identity incl. seed, e.g. "VR/4K-2WS/FCFS/seed=11". */
         std::string key() const;
@@ -116,6 +136,19 @@ public:
      */
     SweepGrid& addGeneratedScenarios(const workload::ScenarioGenSpec& spec,
                                      int count, uint64_t seed0 = 1);
+    /**
+     * Add one recorded trace as a scenario-axis value: every grid
+     * point of this scenario replays the trace's exact arrival/
+     * deadline sequence (workload::ReplaySource) instead of
+     * generating periodic arrivals, so every scheduler/config point
+     * in the sweep sees byte-identical load. For bit-exact
+     * reproduction of the recorded run, the grid's seed list must
+     * contain the recording seed (execution paths re-materialise
+     * from it).
+     */
+    SweepGrid& addTraceReplay(TraceReplaySpec spec);
+    /** addTraceReplay for each spec, in order. */
+    SweepGrid& addTraceReplays(std::vector<TraceReplaySpec> specs);
     /** Add a Table 2 system preset. */
     SweepGrid& addSystem(hw::SystemPreset preset);
     /** Add a custom named system factory. */

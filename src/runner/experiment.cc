@@ -46,6 +46,15 @@ evaluationSchedulers()
             SchedKind::DreamSmartDrop, SchedKind::DreamFull};
 }
 
+std::vector<SchedKind>
+allSchedKinds()
+{
+    return {SchedKind::Fcfs,           SchedKind::StaticFcfs,
+            SchedKind::Veltair,        SchedKind::Planaria,
+            SchedKind::DreamFixed,     SchedKind::DreamMapScore,
+            SchedKind::DreamSmartDrop, SchedKind::DreamFull};
+}
+
 const char*
 toString(SchedKind kind)
 {

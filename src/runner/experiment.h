@@ -43,6 +43,9 @@ makeDream(const core::DreamConfig& config);
 /** The scheduler set of Figures 7, 8 and 12. */
 std::vector<SchedKind> evaluationSchedulers();
 
+/** Every SchedKind, in declaration order (name-lookup registries). */
+std::vector<SchedKind> allSchedKinds();
+
 /** Display name of a scheduler kind. */
 const char* toString(SchedKind kind);
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace dream {
 namespace runner {
@@ -83,6 +85,80 @@ geomean(const std::vector<double>& values)
     for (const double v : values)
         log_sum += std::log(std::max(v, 1e-300));
     return std::exp(log_sum / double(values.size()));
+}
+
+std::string
+csvQuote(const std::string& s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+bool
+readCsvRecord(std::istream& in, std::vector<std::string>& cells)
+{
+    cells.clear();
+    int c = in.get();
+    if (c == std::istream::traits_type::eof())
+        return false;
+
+    std::string cell;
+    bool quoted = false;
+    for (;; c = in.get()) {
+        if (c == std::istream::traits_type::eof()) {
+            if (quoted)
+                throw std::runtime_error(
+                    "unterminated quoted CSV cell");
+            break;
+        }
+        if (quoted) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    cell += '"';
+                    in.get();
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += char(c);
+            }
+            continue;
+        }
+        if (c == '"' && cell.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else if (c == '\n') {
+            break;
+        } else if (c != '\r') {
+            cell += char(c);
+        }
+    }
+    cells.push_back(std::move(cell));
+    return true;
+}
+
+std::string
+preciseDouble(double v)
+{
+    char buf[40];
+    // Shortest round-trip: 15 digits suffice for most values, 17
+    // always do.
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    return buf; // non-finite: strtod-compatible "nan"/"inf"/"-inf"
 }
 
 } // namespace runner

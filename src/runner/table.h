@@ -1,12 +1,16 @@
 /**
  * @file
  * Fixed-width console table printer used by the bench harness to
- * emit the rows/series each paper table and figure reports.
+ * emit the rows/series each paper table and figure reports, plus the
+ * low-level CSV cell quoting/record reading shared by every CSV
+ * producer and consumer in the repo (engine result sinks, the
+ * merge/diff toolchain, frame traces).
  */
 
 #ifndef DREAM_RUNNER_TABLE_H
 #define DREAM_RUNNER_TABLE_H
 
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -43,6 +47,40 @@ std::string fmtPct(double v, int digits = 1);
  *  geomean has no identity, and a silent 0 would read as a perfect
  *  score in lower-is-better tables). */
 double geomean(const std::vector<double>& values);
+
+// ------------------------------------------------- CSV primitives
+//
+// One quoting rule and one record reader for every CSV the repo
+// writes or parses. engine::csvQuote / the result-CSV reader and the
+// frame-trace round trip all sit on these, so a cell that one layer
+// writes always parses back identically in another.
+
+/**
+ * Quote one CSV cell RFC-4180 style: cells containing a comma,
+ * quote, newline or carriage return are wrapped in double quotes
+ * with embedded quotes doubled; all other cells pass through
+ * verbatim. ('\r' is quoted too: readCsvRecord strips bare CRs —
+ * Windows line endings — so an unquoted CR would not round-trip.)
+ */
+std::string csvQuote(const std::string& cell);
+
+/**
+ * Split one logical CSV record off @p in into unquoted cells.
+ * Handles quoted cells (including embedded newlines and doubled
+ * quotes) and CRLF line endings. Returns false at end of input.
+ *
+ * @throws std::runtime_error on an unterminated quoted cell.
+ */
+bool readCsvRecord(std::istream& in, std::vector<std::string>& cells);
+
+/**
+ * Shortest decimal rendering of @p v that parses back to exactly
+ * the same double (tries %.15g, %.16g, %.17g). The frame-trace
+ * writer uses it so recorded arrival/deadline times replay
+ * bit-for-bit; non-finite values render as strtod-compatible
+ * "nan"/"inf"/"-inf".
+ */
+std::string preciseDouble(double v);
 
 } // namespace runner
 } // namespace dream

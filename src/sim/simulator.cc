@@ -313,13 +313,22 @@ Simulator::run(Scheduler& sched)
                                                  0);
     }
 
-    source_ = std::make_unique<workload::FrameSource>(scenario_,
-                                                      config_.seed);
+    if (config_.arrivals) {
+        ownedSource_.reset();
+        source_ = config_.arrivals;
+    } else {
+        ownedSource_ = std::make_unique<workload::FrameSource>(
+            scenario_, config_.seed);
+        source_ = ownedSource_.get();
+    }
     auto arrivals = source_->rootFrames(config_.windowUs);
-    std::sort(arrivals.begin(), arrivals.end(),
-              [](const auto& a, const auto& b) {
-                  return a.arrivalUs < b.arrivalUs;
-              });
+    // Stable: simultaneous arrivals keep source order, so a trace
+    // replay (whose source order is the recorded admission order)
+    // reproduces the original run's admission sequence exactly.
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.arrivalUs < b.arrivalUs;
+                     });
 
     buildContext();
     sched.reset(ctx_);
@@ -364,6 +373,10 @@ Simulator::finalizeStats()
     // Frames unfinished at window end with an in-window deadline are
     // violations; Supernet variant usage is tallied over started
     // frames; the per-frame trace is emitted in admission order.
+    // Every admitted frame is recorded — frames whose deadline falls
+    // beyond the window (inWindow == false) still contended for
+    // accelerator time, and a trace that omitted them could not be
+    // replayed faithfully.
     for (const auto& reqp : requests_) {
         const Request& req = *reqp;
         const bool counted = inWindow(req.deadlineUs, config_.windowUs);
@@ -372,20 +385,23 @@ Simulator::finalizeStats()
             ts.violatedFrames += 1;
         if (counted && !ts.variantStarts.empty() && req.started())
             ts.variantStarts[size_t(req.variant)] += 1;
-        if (counted) {
-            FrameRecord fr;
-            fr.task = req.task;
-            fr.frameIdx = req.frameIdx;
-            fr.arrivalUs = req.arrivalUs;
-            fr.deadlineUs = req.deadlineUs;
-            fr.completionUs = req.completionUs;
-            fr.dropped = req.dropped;
-            fr.violated = req.dropped || !req.done ||
-                          req.completionUs > req.deadlineUs;
-            fr.variant = req.variant;
-            fr.energyMj = req.energyMj;
-            stats_.frames.push_back(fr);
-        }
+        FrameRecord fr;
+        fr.task = req.task;
+        fr.frameIdx = req.frameIdx;
+        fr.arrivalUs = req.arrivalUs;
+        fr.deadlineUs = req.deadlineUs;
+        fr.completionUs = req.completionUs;
+        fr.dropped = req.dropped;
+        // A frame unfinished at window end only counts as violated
+        // when its deadline lay inside the window — an out-of-window
+        // frame cut off mid-flight may still have met its deadline.
+        fr.violated = req.dropped ||
+                      (req.done && req.completionUs > req.deadlineUs) ||
+                      (counted && !req.finished());
+        fr.inWindow = counted;
+        fr.variant = req.variant;
+        fr.energyMj = req.energyMj;
+        stats_.frames.push_back(fr);
     }
 }
 

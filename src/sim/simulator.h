@@ -34,6 +34,15 @@ struct SimConfig {
     double windowUs = 2e6;
     /** Workload randomness seed. */
     uint64_t seed = 1;
+    /**
+     * Optional externally-owned arrival source. When set, the
+     * simulator draws its frames from it (e.g. a
+     * workload::ReplaySource re-injecting a recorded trace's exact
+     * arrival sequence) instead of constructing a periodic
+     * FrameSource from the scenario and @ref seed. Must outlive every
+     * run() call; the caller keeps ownership.
+     */
+    const workload::ArrivalSource* arrivals = nullptr;
 };
 
 /**
@@ -75,7 +84,8 @@ private:
     SimConfig config_;
 
     // Per-run state.
-    std::unique_ptr<workload::FrameSource> source_;
+    std::unique_ptr<workload::FrameSource> ownedSource_;
+    const workload::ArrivalSource* source_ = nullptr;
     std::vector<std::unique_ptr<Request>> requests_;
     std::vector<std::vector<int>> taskQueues_;  ///< FIFO req ids per task
     std::vector<AcceleratorState> accels_;

@@ -50,6 +50,14 @@ struct FrameRecord {
     double completionUs = -1.0;
     bool dropped = false;
     bool violated = false;
+    /**
+     * True when the deadline fell inside the run window — only these
+     * frames count towards TaskStats. Frames admitted near the window
+     * end with an out-of-window deadline are recorded too (they
+     * contend for accelerator time, so trace replay must re-inject
+     * them), flagged false.
+     */
+    bool inWindow = true;
     int variant = 0;
     double energyMj = 0.0;
 };
@@ -58,7 +66,10 @@ struct FrameRecord {
 struct RunStats {
     std::vector<TaskStats> tasks;
     double windowUs = 0.0;
-    /** Per-frame outcomes in admission order (in-window frames). */
+    /** Per-frame outcomes of every admitted frame, in admission
+     *  order. Frames with an out-of-window deadline are included
+     *  (inWindow == false) so a recorded trace captures the complete
+     *  load; only inWindow frames are counted in TaskStats. */
     std::vector<FrameRecord> frames;
     /** Total context switches charged across accelerators. */
     uint64_t contextSwitches = 0;

@@ -38,13 +38,43 @@ struct FrameSpec {
 };
 
 /**
+ * Where the simulator's frames come from. The generative
+ * implementation (FrameSource) materialises periodic arrivals from
+ * the scenario; ReplaySource re-injects a recorded trace's exact
+ * arrival sequence. Implementations must be const-thread-safe: one
+ * instance may serve several concurrent runs.
+ */
+class ArrivalSource {
+public:
+    virtual ~ArrivalSource() = default;
+
+    /**
+     * Every externally-released frame whose arrival falls inside
+     * [0, window_us), in an order the simulator may stably re-sort
+     * by arrival time.
+     */
+    virtual std::vector<FrameSpec> rootFrames(double window_us)
+        const = 0;
+
+    /**
+     * Materialise the dependent frame of @p child for pipeline frame
+     * @p frame_idx, released when the parent completed at
+     * @p parent_completion_us. Only called for frames whose parent's
+     * cascade gate (FrameSpec::childTriggers) fired.
+     */
+    virtual FrameSpec childFrame(TaskId child, int frame_idx,
+                                 double parent_arrival_us,
+                                 double parent_completion_us) const = 0;
+};
+
+/**
  * Deterministic frame generator for one run.
  *
  * Per-frame randomness derives from hash(seed, task, frameIdx), never
  * from call order, so different schedulers (which complete parents at
  * different times) still face the same materialised workload.
  */
-class FrameSource {
+class FrameSource : public ArrivalSource {
 public:
     FrameSource(const Scenario& scenario, uint64_t seed);
 
@@ -57,7 +87,7 @@ public:
      * All root-task frames whose arrival falls inside
      * [task.startUs, min(task.endUs, window_us)).
      */
-    std::vector<FrameSpec> rootFrames(double window_us) const;
+    std::vector<FrameSpec> rootFrames(double window_us) const override;
 
     /**
      * Materialise the dependent frame of @p child for pipeline frame
@@ -67,7 +97,7 @@ public:
      */
     FrameSpec childFrame(TaskId child, int frame_idx,
                          double parent_arrival_us,
-                         double parent_completion_us) const;
+                         double parent_completion_us) const override;
 
     /**
      * Materialise the execution path of @p task for frame

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "engine/param_eval.h"
 #include "engine/result_sink.h"
 #include "engine/worker_pool.h"
+#include "runner/trace.h"
 
 namespace dream {
 namespace {
@@ -782,6 +785,138 @@ TEST(ParamSearch, BatchedOptimizeMatchesSerial)
         EXPECT_EQ(serial.trajectory[i].cost,
                   batched.trajectory[i].cost);
     }
+}
+
+TEST(Engine, TraceFileNameSanitizesTheKey)
+{
+    engine::SweepGrid grid;
+    grid.addScenario(workload::ScenarioPreset::ArCall);
+    grid.addSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    grid.addScheduler(runner::SchedKind::Fcfs);
+    grid.window(1e5);
+    const auto point = grid.point(0);
+    const std::string name = engine::traceFileName(point);
+    EXPECT_EQ(name.find('/'), std::string::npos);
+    EXPECT_NE(name.find("AR_Call"), std::string::npos);
+    EXPECT_NE(name.find("seed=11"), std::string::npos);
+    EXPECT_EQ(name.substr(name.size() - 10), ".trace.csv");
+}
+
+TEST(Engine, RecordReplayRoundTripThroughTheGrid)
+{
+    // Record: a 2-scheduler sweep writes one trace per grid point.
+    const std::string dir = ::testing::TempDir() +
+                            "dream_engine_trace_roundtrip";
+    std::filesystem::remove_all(dir);
+
+    engine::SweepGrid record;
+    record.addScenario(workload::ScenarioPreset::ArCall);
+    record.addSystem(hw::SystemPreset::Sys4k2Ws);
+    record.addScheduler(runner::SchedKind::Fcfs);
+    record.addScheduler(runner::SchedKind::StaticFcfs);
+    record.seeds({11});
+    record.window(2e5);
+
+    engine::EngineOptions ropts;
+    ropts.jobs = 2;
+    ropts.traceDir = dir;
+    const auto recorded = engine::Engine(ropts).run(record);
+    ASSERT_EQ(recorded.size(), 2u);
+
+    // Replay: every recorded point, rebuilt from its trace file via
+    // the grid's trace axis, reproduces the recorded metrics exactly.
+    for (const auto& r : recorded) {
+        const auto point = record.point(r.index);
+        const auto trace =
+            std::make_shared<const workload::FrameTrace>(
+                runner::readFrameTraceCsv(dir + '/' +
+                                          engine::traceFileName(
+                                              point)));
+        EXPECT_EQ(trace->metaValue("scenario"), r.scenario);
+        EXPECT_EQ(trace->metaValue("scheduler"), r.scheduler);
+        EXPECT_EQ(trace->metaValue("seed"),
+                  std::to_string(r.seed));
+
+        engine::SweepGrid replay;
+        replay.addTraceReplay(
+            {r.scenario,
+             []() {
+                 return workload::makeScenario(
+                     workload::ScenarioPreset::ArCall);
+             },
+             trace});
+        replay.addSystem(hw::SystemPreset::Sys4k2Ws);
+        replay.addScheduler(r.scheduler == "FCFS"
+                                ? runner::SchedKind::Fcfs
+                                : runner::SchedKind::StaticFcfs);
+        replay.seeds({r.seed});
+        replay.window(r.windowUs);
+
+        const auto replayed = engine::Engine({1}).run(replay);
+        ASSERT_EQ(replayed.size(), 1u);
+        const auto& p = replayed[0];
+        EXPECT_EQ(p.key(), r.key());
+        EXPECT_EQ(p.uxCost, r.uxCost);
+        EXPECT_EQ(p.dlvRate, r.dlvRate);
+        EXPECT_EQ(p.normEnergy, r.normEnergy);
+        EXPECT_EQ(p.energyMj, r.energyMj);
+        EXPECT_EQ(p.violationFraction, r.violationFraction);
+        EXPECT_EQ(p.dropRate, r.dropRate);
+        EXPECT_EQ(p.totalFrames, r.totalFrames);
+        EXPECT_EQ(p.violatedFrames, r.violatedFrames);
+        EXPECT_EQ(p.droppedFrames, r.droppedFrames);
+        EXPECT_EQ(p.schedulerInvocations, r.schedulerInvocations);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Engine, TraceAxisGivesEverySchedulerIdenticalLoad)
+{
+    // One recorded trace, swept across several schedulers: each grid
+    // point must face the same total workload (frames and deadlines
+    // are fixed by the trace, not re-derived per scheduler).
+    const auto scenario_factory = []() {
+        return workload::makeScenario(
+            workload::ScenarioPreset::ArCall);
+    };
+    const auto point_grid = [&]() {
+        engine::SweepGrid g;
+        g.addScenario("AR_Call", scenario_factory);
+        g.addSystem(hw::SystemPreset::Sys4k2Ws);
+        g.addScheduler(runner::SchedKind::Fcfs);
+        g.seeds({11});
+        g.window(2e5);
+        return g;
+    }();
+    const std::string dir =
+        ::testing::TempDir() + "dream_engine_trace_axis";
+    std::filesystem::remove_all(dir);
+    engine::EngineOptions ropts;
+    ropts.traceDir = dir;
+    engine::Engine(ropts).run(point_grid);
+    const auto trace = std::make_shared<const workload::FrameTrace>(
+        runner::readFrameTraceCsv(
+            dir + '/' +
+            engine::traceFileName(point_grid.point(0))));
+
+    engine::SweepGrid sweep;
+    sweep.addTraceReplays(
+        {{"AR_Call", scenario_factory, trace}});
+    sweep.addSystem(hw::SystemPreset::Sys4k2Ws);
+    sweep.addScheduler(runner::SchedKind::Fcfs);
+    sweep.addScheduler(runner::SchedKind::DreamFull);
+    sweep.addScheduler(runner::SchedKind::Planaria);
+    sweep.seeds({11});
+    sweep.window(2e5);
+
+    uint64_t in_window = 0;
+    for (const auto& fr : trace->frames)
+        in_window += fr.inWindow ? 1 : 0;
+    const auto records = engine::Engine({2}).run(sweep);
+    ASSERT_EQ(records.size(), 3u);
+    for (const auto& r : records)
+        EXPECT_EQ(r.totalFrames, in_window) << r.key();
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

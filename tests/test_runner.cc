@@ -72,5 +72,31 @@ TEST(Table, Geomean)
     EXPECT_NEAR(runner::geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
 }
 
+TEST(Runner, AllSchedKindsIsACompleteConstructibleRegistry)
+{
+    // Name-lookup registries (trace_replay's scheduler resolution)
+    // iterate allSchedKinds(); this guards it against drifting from
+    // the enum: every kind constructs, every name is real and
+    // unique, and the evaluation subset is contained in it.
+    const auto kinds = runner::allSchedKinds();
+    std::vector<std::string> names;
+    for (const auto kind : kinds) {
+        EXPECT_NE(runner::makeScheduler(kind), nullptr);
+        const std::string name = runner::toString(kind);
+        EXPECT_NE(name, "??");
+        EXPECT_EQ(std::count(names.begin(), names.end(), name), 0)
+            << "duplicate scheduler name " << name;
+        names.push_back(name);
+    }
+    for (const auto kind : runner::evaluationSchedulers()) {
+        EXPECT_NE(std::find(kinds.begin(), kinds.end(), kind),
+                  kinds.end())
+            << runner::toString(kind);
+    }
+    // Update allSchedKinds() when adding a SchedKind — recorded
+    // traces of the new scheduler are unreplayable until then.
+    EXPECT_EQ(kinds.size(), 8u);
+}
+
 } // namespace
 } // namespace dream
