@@ -28,6 +28,17 @@
  *                 metadata). Replay with bench/trace_replay and
  *                 gate with dream_diff — the record -> replay ->
  *                 diff regression loop.
+ *   --trace-events DIR
+ *                 write every executed grid point's telemetry event
+ *                 trace (Chrome trace-event JSON — job spans,
+ *                 scheduler invocations, frame lifecycle instants)
+ *                 to DIR/<point key>.trace.json; open in Perfetto
+ *                 or profile with tools/dream_prof.
+ *   --metrics F   dump the run's merged obs::MetricsRegistry
+ *                 (counters, gauges, exact-quantile latency
+ *                 histograms) as JSON to F when the bench exits.
+ *                 Deterministic: byte-identical for any --jobs
+ *                 value.
  *
  * Malformed values of any flag (e.g. a --chunk with B > E,
  * non-numeric or negative positions) are rejected with an error and
@@ -45,6 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -53,9 +65,35 @@
 #include "engine/engine.h"
 #include "engine/result_sink.h"
 #include "engine/worker_pool.h"
+#include "obs/metrics.h"
 
 namespace dream {
 namespace bench {
+
+/**
+ * The --metrics output: a registry every engine run of the bench
+ * accumulates into, written as JSON when the Options go out of scope
+ * (same end-of-main flush discipline as the --out sinks), so
+ * multi-grid benches dump ONE merged registry without per-bench
+ * plumbing.
+ */
+struct MetricsFile {
+    std::string path;
+    obs::MetricsRegistry registry;
+
+    ~MetricsFile()
+    {
+        std::ofstream out(path);
+        if (!out.is_open()) {
+            std::fprintf(stderr,
+                         "cannot open --metrics file for writing: "
+                         "%s\n",
+                         path.c_str());
+            return;
+        }
+        registry.writeJson(out);
+    }
+};
 
 /** Parsed common bench flags. */
 struct Options {
@@ -69,6 +107,8 @@ struct Options {
     engine::ChunkSpec chunk; ///< --chunk B:E; 0:npos without the flag
     bool chunked = false;  ///< --chunk was given
     std::string traceDir;  ///< --record-trace dir; empty = none
+    std::string traceEventDir; ///< --trace-events dir; empty = none
+    std::string metricsPath;   ///< --metrics file; empty = none
 
     /**
      * Global positions consumed by previous runOrList calls.
@@ -85,6 +125,13 @@ struct Options {
      * header and one contiguous row stream, not a header per grid.
      */
     mutable std::shared_ptr<engine::CsvSink> stdoutSink;
+
+    /**
+     * The --metrics registry + file writer, shared by every engine
+     * run of the bench (like stdoutSink: flushed by the destructor
+     * when the Options leave scope). Null without --metrics.
+     */
+    mutable std::shared_ptr<MetricsFile> metricsFile;
 
     /** True when only a grid subset should run (then exit). */
     bool subsetRun() const
@@ -119,13 +166,16 @@ filterSelects(const Options& opts, const std::string& key)
            key.find(opts.filter) != std::string::npos;
 }
 
-/** The engine options a bench run should use (jobs + trace dir). */
+/** The engine options a bench run should use (jobs + telemetry). */
 inline engine::EngineOptions
 engineOptions(const Options& opts)
 {
     engine::EngineOptions eopts;
     eopts.jobs = opts.jobs;
     eopts.traceDir = opts.traceDir;
+    eopts.traceEventDir = opts.traceEventDir;
+    eopts.metrics =
+        opts.metricsFile ? &opts.metricsFile->registry : nullptr;
     return eopts;
 }
 
@@ -165,7 +215,18 @@ printUsage(const char* prog, const std::vector<ExtraFlag>& extra = {})
                 "               write each executed grid point's "
                 "per-frame trace\n               to DIR (replay "
                 "with trace_replay, gate with\n               "
-                "dream_diff)\n",
+                "dream_diff)\n"
+                "  --trace-events DIR\n"
+                "               write each executed grid point's "
+                "telemetry event\n               trace (Chrome "
+                "trace-event JSON) to DIR — open in\n"
+                "               Perfetto or profile with "
+                "dream_prof\n"
+                "  --metrics F  dump the run's merged metrics "
+                "registry (counters,\n               gauges, "
+                "latency quantiles) as JSON to F on exit;\n"
+                "               byte-identical for any --jobs "
+                "value\n",
                 prog);
     for (const auto& e : extra)
         std::printf("  %s  %s\n", e.flag, e.help);
@@ -234,6 +295,30 @@ parseArgs(int argc, char** argv, const std::vector<ExtraFlag>& extra = {})
                              opts.traceDir.c_str(), e.what());
                 std::exit(2);
             }
+        } else if (arg == "--trace-events" && i + 1 < argc) {
+            opts.traceEventDir = argv[++i];
+            if (opts.traceEventDir.empty()) {
+                std::fprintf(stderr,
+                             "--trace-events needs a directory\n");
+                std::exit(2);
+            }
+            // Same fail-fast discipline as --record-trace.
+            try {
+                std::filesystem::create_directories(
+                    opts.traceEventDir);
+            } catch (const std::filesystem::filesystem_error& e) {
+                std::fprintf(stderr,
+                             "cannot create --trace-events "
+                             "directory %s: %s\n",
+                             opts.traceEventDir.c_str(), e.what());
+                std::exit(2);
+            }
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            opts.metricsPath = argv[++i];
+            if (opts.metricsPath.empty()) {
+                std::fprintf(stderr, "--metrics needs a file\n");
+                std::exit(2);
+            }
         } else if (arg == "--list") {
             opts.list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -252,6 +337,22 @@ parseArgs(int argc, char** argv, const std::vector<ExtraFlag>& extra = {})
     }
     if (opts.jobs <= 0)
         opts.jobs = engine::WorkerPool::defaultJobs();
+    // --metrics gets the same fail-fast + --list discipline as --out:
+    // verify writability up front (not after minutes of sweeping) and
+    // never truncate an existing file under --list, which runs
+    // nothing.
+    if (!opts.metricsPath.empty() && !opts.list) {
+        std::ofstream probe(opts.metricsPath);
+        if (!probe.is_open()) {
+            std::fprintf(stderr,
+                         "cannot open --metrics file for writing: "
+                         "%s\n",
+                         opts.metricsPath.c_str());
+            std::exit(2);
+        }
+        opts.metricsFile = std::make_shared<MetricsFile>();
+        opts.metricsFile->path = opts.metricsPath;
+    }
     return opts;
 }
 

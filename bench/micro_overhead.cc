@@ -26,6 +26,7 @@
 #include "costmodel/layer_cost.h"
 #include "engine/engine.h"
 #include "models/zoo.h"
+#include "obs/metrics.h"
 #include "runner/experiment.h"
 #include "runner/table.h"
 #include "sim/scheduler.h"
@@ -90,19 +91,43 @@ struct ContextFixture {
     }
 };
 
-/** ns per iteration of @p body over @p iters runs. */
+/**
+ * Distribution of ns/op over @p batches timed batches of @p inner
+ * iterations each (batching keeps the steady_clock read out of the
+ * hot loop for ops in the few-ns range). The histogram gives the
+ * spread — min/p50/p90/p99/max — where the old single-loop average
+ * hid tail effects like cache warmup and scheduler preemption.
+ */
 template <typename Body>
-double
-nsPerOp(size_t iters, Body&& body)
+obs::LatencyHistogram
+timeOp(size_t batches, size_t inner, Body&& body)
 {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < iters; ++i)
-        body(i);
-    const auto t1 = std::chrono::steady_clock::now();
-    return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      t1 - t0)
-                      .count()) /
-           double(iters);
+    obs::LatencyHistogram h;
+    size_t op = 0;
+    for (size_t b = 0; b < batches; ++b) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < inner; ++i)
+            body(op++);
+        const auto t1 = std::chrono::steady_clock::now();
+        h.record(
+            double(std::chrono::duration_cast<
+                       std::chrono::nanoseconds>(t1 - t0)
+                       .count()) /
+            double(inner));
+    }
+    return h;
+}
+
+/** "Microbenchmark | min | p50 | p90 | p99 | max" row cells. */
+std::vector<std::string>
+opRow(const std::string& name, const obs::LatencyHistogram& h)
+{
+    return {name,
+            runner::fmt(h.min(), 1),
+            runner::fmt(h.quantile(0.50), 1),
+            runner::fmt(h.quantile(0.90), 1),
+            runner::fmt(h.quantile(0.99), 1),
+            runner::fmt(h.max(), 1)};
 }
 
 volatile double g_side_effect = 0.0;
@@ -146,64 +171,60 @@ main(int argc, char** argv)
     inv.print();
 
     // Part 2: wall-clock timing loops (stdout only; excluded from
-    // --out so result rows stay deterministic).
+    // --out so result rows stay deterministic). Each op is timed in
+    // batches into an obs::LatencyHistogram, so the table reports
+    // the distribution of ns/op rather than one average.
     ContextFixture f;
-    runner::Table t({"Microbenchmark", "ns/op"});
+    runner::Table t({"Microbenchmark", "min", "p50", "p90", "p99",
+                     "max"});
 
     core::MapScoreEngine mapscore(1.0, 1.0);
-    t.addRow({"MapScore single evaluation",
-              runner::fmt(nsPerOp(100000,
-                                  [&](size_t i) {
-                                      const auto* req =
-                                          f.ctx.ready[i %
-                                                      f.ctx.ready.size()];
-                                      const auto s = mapscore.score(
-                                          f.ctx, *req,
-                                          i % f.ctx.numAccels());
-                                      g_side_effect = s.mapScore;
-                                  }),
-                          1)});
+    t.addRow(opRow(
+        "MapScore single evaluation",
+        timeOp(1000, 100, [&](size_t i) {
+            const auto* req =
+                f.ctx.ready[i % f.ctx.ready.size()];
+            const auto s =
+                mapscore.score(f.ctx, *req, i % f.ctx.numAccels());
+            g_side_effect = s.mapScore;
+        })));
 
     core::DreamScheduler dream(core::DreamConfig::full());
     dream.reset(f.ctx);
-    t.addRow({"DREAM full planning round",
-              runner::fmt(nsPerOp(5000,
-                                  [&](size_t) {
-                                      auto plan = dream.plan(f.ctx);
-                                      g_side_effect = double(
-                                          plan.dispatches.size());
-                                  }),
-                          1)});
+    t.addRow(opRow("DREAM full planning round",
+                   timeOp(500, 10, [&](size_t) {
+                       auto plan = dream.plan(f.ctx);
+                       g_side_effect =
+                           double(plan.dispatches.size());
+                   })));
 
     const auto model = models::zoo::ssdMobileNetV2();
-    t.addRow({"Analytical layer cost estimate",
-              runner::fmt(
-                  nsPerOp(100000,
-                          [&](size_t i) {
-                              const auto& layer =
-                                  model.layers[i % model.layers.size()];
-                              const auto c = cost::estimateLayer(
-                                  layer, f.system.accelerators[0]);
-                              g_side_effect = c.latencyUs;
-                          }),
-                  1)});
+    t.addRow(opRow(
+        "Analytical layer cost estimate",
+        timeOp(1000, 100, [&](size_t i) {
+            const auto& layer =
+                model.layers[i % model.layers.size()];
+            const auto c =
+                cost::estimateLayer(layer,
+                                    f.system.accelerators[0]);
+            g_side_effect = c.latencyUs;
+        })));
 
     const auto& fixture_model = f.scenario.tasks[0].model;
-    t.addRow({"Cost-table lookup",
-              runner::fmt(
-                  nsPerOp(1000000,
-                          [&](size_t i) {
-                              const auto& c = f.costs.cost(
-                                  fixture_model.layers
-                                      [i % fixture_model.layers.size()],
-                                  i % f.system.size());
-                              g_side_effect = c.latencyUs;
-                          }),
-                  1)});
+    t.addRow(opRow(
+        "Cost-table lookup",
+        timeOp(1000, 1000, [&](size_t i) {
+            const auto& c = f.costs.cost(
+                fixture_model.layers[i %
+                                     fixture_model.layers.size()],
+                i % f.system.size());
+            g_side_effect = c.latencyUs;
+        })));
 
     std::printf("\n");
     t.print();
-    std::printf("\ntimings are wall-clock on this host; the CSV rows "
-                "above carry only deterministic counters\n");
+    std::printf("\nns/op, wall-clock on this host, over timed "
+                "batches; the CSV rows\nabove carry only "
+                "deterministic counters\n");
     return 0;
 }

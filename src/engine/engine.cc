@@ -17,6 +17,7 @@
 #include "costmodel/cost_table.h"
 #include "engine/worker_pool.h"
 #include "metrics/uxcost.h"
+#include "obs/telemetry.h"
 #include "runner/table.h"
 #include "runner/trace.h"
 #include "sim/simulator.h"
@@ -151,8 +152,11 @@ ChunkSpec::slice(size_t base, size_t count) const
     return {lo, std::max(lo, hi)};
 }
 
+namespace {
+
+/** Sanitized key + "-<hash>" stem shared by every per-point file. */
 std::string
-traceFileName(const SweepGrid::Point& point)
+pointFileStem(const SweepGrid::Point& point)
 {
     std::string name = point.key();
     // FNV-1a over the RAW key: two keys that sanitize identically
@@ -176,7 +180,21 @@ traceFileName(const SweepGrid::Point& point)
     char suffix[16];
     std::snprintf(suffix, sizeof(suffix), "-%08x",
                   unsigned(hash & 0xffffffffu));
-    return name + suffix + ".trace.csv";
+    return name + suffix;
+}
+
+} // anonymous namespace
+
+std::string
+traceFileName(const SweepGrid::Point& point)
+{
+    return pointFileStem(point) + ".trace.csv";
+}
+
+std::string
+traceEventFileName(const SweepGrid::Point& point)
+{
+    return pointFileStem(point) + ".trace.json";
 }
 
 namespace {
@@ -215,11 +233,40 @@ recordTrace(const std::string& trace_dir, const SweepGrid::Point& point,
         throw std::runtime_error("short write to trace file: " + path);
 }
 
+/** Write one run's telemetry event trace (Chrome trace-event JSON)
+ *  under @p dir. Throws on I/O failure, like recordTrace. */
+void
+recordTraceEvents(const std::string& dir,
+                  const SweepGrid::Point& point,
+                  const obs::TraceEventSink& sink)
+{
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + '/' + traceEventFileName(point);
+    std::ofstream out(path);
+    if (!out.is_open())
+        throw std::runtime_error("cannot open trace-event file for "
+                                 "writing: " + path);
+    sink.writeJson(out);
+    if (!out)
+        throw std::runtime_error("short write to trace-event file: " +
+                                 path);
+}
+
 } // anonymous namespace
 
 RunRecord
 runGridPoint(const SweepGrid::Point& point, const std::string& trace_dir,
              size_t trace_index_base)
+{
+    EngineOptions opts;
+    opts.traceDir = trace_dir;
+    opts.traceIndexBase = trace_index_base;
+    return runGridPoint(point, opts, nullptr);
+}
+
+RunRecord
+runGridPoint(const SweepGrid::Point& point, const EngineOptions& opts,
+             obs::MetricsRegistry* metrics_out)
 {
     // Materialise everything locally: workers share nothing mutable.
     const workload::Scenario scenario = (*point.makeScenario)();
@@ -242,10 +289,38 @@ runGridPoint(const SweepGrid::Point& point, const std::string& trace_dir,
             scenario, cfg.seed, *point.trace);
         cfg.arrivals = replay.get();
     }
+
+    // Telemetry: one sink/registry pair per point (share-nothing);
+    // pid = the point's global row index, so traces from several
+    // grids line up with the --out rows. Identity metadata goes in
+    // up front — process_name names the track group in Perfetto,
+    // dream_meta carries what dream_prof needs (the window for
+    // utilization, the key for the report).
+    const size_t global_index = opts.traceIndexBase + point.index;
+    obs::TraceEventSink trace_sink{int64_t(global_index)};
+    obs::SimTelemetry telemetry;
+    if (!opts.traceEventDir.empty()) {
+        trace_sink.processName(point.key());
+        trace_sink.runMeta(
+            obs::TraceArgs()
+                .str("key", point.key())
+                .num("window_us", point.windowUs)
+                .integer("seed", (long long) point.seed)
+                .integer("index", (long long) global_index));
+        telemetry.trace = &trace_sink;
+    }
+    if (metrics_out)
+        telemetry.metrics = metrics_out;
+    if (telemetry.trace || telemetry.metrics)
+        cfg.telemetry = &telemetry;
+
     sim::Simulator simulator(system, scenario, costs, cfg);
     const sim::RunStats stats = simulator.run(*sched);
-    if (!trace_dir.empty())
-        recordTrace(trace_dir, point, trace_index_base, scenario, stats);
+    if (!opts.traceDir.empty())
+        recordTrace(opts.traceDir, point, opts.traceIndexBase,
+                    scenario, stats);
+    if (!opts.traceEventDir.empty())
+        recordTraceEvents(opts.traceEventDir, point, trace_sink);
 
     RunRecord r;
     r.index = point.index;
@@ -348,11 +423,38 @@ runIndices(const SweepGrid& grid, const std::vector<size_t>& indices,
            const std::vector<ResultSink*>& sinks, const EngineOptions& opts)
 {
     std::vector<RunRecord> records(indices.size());
+    // One registry per point, merged in flat-index order AFTER the
+    // pool joins: workers never touch shared telemetry state, so the
+    // merged registry — like the record vector — is byte-identical
+    // for any worker count.
+    std::vector<obs::MetricsRegistry> point_metrics(
+        opts.metrics ? indices.size() : 0);
     WorkerPool pool(opts.jobs);
     pool.parallelFor(indices.size(), [&](size_t k) {
-        records[k] = runGridPoint(grid.point(indices[k]), opts.traceDir,
-                                  opts.traceIndexBase);
+        records[k] = runGridPoint(
+            grid.point(indices[k]), opts,
+            opts.metrics ? &point_metrics[k] : nullptr);
     });
+    if (opts.metrics) {
+        for (const auto& m : point_metrics)
+            opts.metrics->merge(m);
+        // Pool-level occupancy (wall clock, hence volatile: kept for
+        // profiling, excluded from the canonical dump).
+        const auto& workers = pool.lastRunStats();
+        for (size_t w = 0; w < workers.size(); ++w) {
+            const std::string prefix =
+                "engine/worker/" + std::to_string(w) + '/';
+            for (const char* name :
+                 {"items", "steals", "busy_s", "idle_s"})
+                opts.metrics->markVolatile(prefix + name);
+            opts.metrics->count(prefix + "items", workers[w].items);
+            opts.metrics->count(prefix + "steals", workers[w].steals);
+            opts.metrics->gaugeAdd(prefix + "busy_s",
+                                   workers[w].busySeconds);
+            opts.metrics->gaugeAdd(prefix + "idle_s",
+                                   workers[w].idleSeconds);
+        }
+    }
 
     for (ResultSink* sink : sinks) {
         if (!sink)

@@ -21,6 +21,11 @@
 #include "engine/sweep_grid.h"
 
 namespace dream {
+
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace engine {
 
 /** Engine knobs. */
@@ -47,8 +52,26 @@ struct EngineOptions {
      * that stream several grids into one result file (ReindexSink)
      * pass their per-grid row base here, so a trace's metadata index
      * always equals the point's row index in the --out CSV.
+     * traceEventDir uses the same base as the events' pid.
      */
     size_t traceIndexBase = 0;
+    /**
+     * When non-empty, every executed grid point writes its telemetry
+     * event trace (Chrome trace-event JSON, openable in Perfetto) to
+     * "<traceEventDir>/<sanitized point key>-<hash>.trace.json" —
+     * the same per-point naming discipline as traceDir. The events'
+     * pid is traceIndexBase + point.index.
+     */
+    std::string traceEventDir;
+    /**
+     * When non-null, every executed grid point collects an
+     * obs::MetricsRegistry which the engine merges into this one in
+     * flat-index order after the workers join — so the merged
+     * registry (and its JSON dump) is byte-identical for any --jobs
+     * value, like every other engine output. Caller-owned; several
+     * runs may accumulate into one registry.
+     */
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /** Grid-point predicate for subset runs (--filter). */
@@ -161,6 +184,17 @@ RunRecord runGridPoint(const SweepGrid::Point& point,
                        size_t trace_index_base = 0);
 
 /**
+ * runGridPoint with the full option set: frame-trace recording
+ * (opts.traceDir), telemetry event traces (opts.traceEventDir) and —
+ * when @p metrics_out is non-null — per-run metrics collected into
+ * it (the engine merges the per-point registries; opts.metrics
+ * itself is NOT touched here, so workers stay share-nothing).
+ */
+RunRecord runGridPoint(const SweepGrid::Point& point,
+                       const EngineOptions& opts,
+                       obs::MetricsRegistry* metrics_out);
+
+/**
  * The trace-file name a grid point records to under
  * EngineOptions::traceDir: the point key with every character
  * outside [A-Za-z0-9._=+-] replaced by '_', plus "-<hash>" of the
@@ -169,6 +203,13 @@ RunRecord runGridPoint(const SweepGrid::Point& point,
  * re-recording a replayed point lands on the same name.
  */
 std::string traceFileName(const SweepGrid::Point& point);
+
+/**
+ * The telemetry event-trace file a grid point writes under
+ * EngineOptions::traceEventDir: the same sanitized-key-plus-hash
+ * stem as traceFileName, with extension ".trace.json".
+ */
+std::string traceEventFileName(const SweepGrid::Point& point);
 
 /**
  * Fill a record's metric fields — including breakdown columns such

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -25,29 +26,46 @@ void
 WorkerPool::parallelFor(size_t n,
                         const std::function<void(size_t)>& body) const
 {
+    stats_.clear();
     if (n == 0)
         return;
+
+    using clock = std::chrono::steady_clock;
+    const auto seconds = [](clock::duration d) {
+        return std::chrono::duration<double>(d).count();
+    };
+    const auto t0 = clock::now();
 
     const size_t workers =
         std::min<size_t>(size_t(jobs_), n);
     if (workers <= 1) {
         for (size_t i = 0; i < n; ++i)
             body(i);
+        stats_.resize(1);
+        stats_[0].items = n;
+        stats_[0].busySeconds = seconds(clock::now() - t0);
         return;
     }
 
+    stats_.resize(workers);
     std::atomic<size_t> next{0};
     std::exception_ptr error;
     std::mutex error_mutex;
 
-    const auto worker = [&]() {
+    const auto worker = [&](size_t slot) {
+        WorkerStats& ws = stats_[slot];
         while (true) {
             const size_t i = next.fetch_add(1);
             if (i >= n)
                 return;
+            if (ws.items > 0)
+                ws.steals += 1;
+            ws.items += 1;
+            const auto b0 = clock::now();
             try {
                 body(i);
             } catch (...) {
+                ws.busySeconds += seconds(clock::now() - b0);
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)
                     error = std::current_exception();
@@ -55,16 +73,21 @@ WorkerPool::parallelFor(size_t n,
                 next.store(n);
                 return;
             }
+            ws.busySeconds += seconds(clock::now() - b0);
         }
     };
 
     std::vector<std::thread> threads;
     threads.reserve(workers - 1);
     for (size_t w = 1; w < workers; ++w)
-        threads.emplace_back(worker);
-    worker();
+        threads.emplace_back(worker, w);
+    worker(0);
     for (auto& t : threads)
         t.join();
+
+    const double makespan = seconds(clock::now() - t0);
+    for (auto& ws : stats_)
+        ws.idleSeconds = std::max(0.0, makespan - ws.busySeconds);
 
     if (error)
         std::rethrow_exception(error);

@@ -12,7 +12,9 @@
 #define DREAM_ENGINE_WORKER_POOL_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace dream {
 namespace engine {
@@ -20,6 +22,22 @@ namespace engine {
 /** Fork-join helper running index ranges on up to N threads. */
 class WorkerPool {
 public:
+    /**
+     * Per-worker occupancy of the most recent parallelFor: how many
+     * items the worker claimed from the shared counter, how many of
+     * those were steals (claims after its first — work it took
+     * because it finished early), wall time spent inside the body
+     * and wall time spent idle (from its first claim to the join).
+     * Wall-clock numbers — report them as volatile telemetry, never
+     * in deterministic output.
+     */
+    struct WorkerStats {
+        uint64_t items = 0;
+        uint64_t steals = 0;
+        double busySeconds = 0.0;
+        double idleSeconds = 0.0;
+    };
+
     /**
      * @param jobs  worker count; values <= 0 select
      *              std::thread::hardware_concurrency().
@@ -41,8 +59,20 @@ public:
     /** Worker count used for jobs <= 0 (hardware concurrency). */
     static int defaultJobs();
 
+    /**
+     * Occupancy of the most recent parallelFor, one entry per worker
+     * slot that participated (slot 0 is the calling thread). Empty
+     * before the first run. Not thread-safe against a concurrent
+     * parallelFor on the same pool.
+     */
+    const std::vector<WorkerStats>& lastRunStats() const
+    {
+        return stats_;
+    }
+
 private:
     int jobs_;
+    mutable std::vector<WorkerStats> stats_;
 };
 
 } // namespace engine

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The null-by-default handle the simulator's instrumentation hangs
+ * off. A Simulator with SimConfig::telemetry == nullptr (the
+ * default) pays one pointer test per hook site and records nothing —
+ * no files, no allocations; with a SimTelemetry attached, either
+ * half may be enabled independently (`--trace-events` without
+ * `--metrics`, and vice versa).
+ */
+
+#ifndef DREAM_OBS_TELEMETRY_H
+#define DREAM_OBS_TELEMETRY_H
+
+#include "obs/metrics.h"
+#include "obs/trace_event.h"
+
+namespace dream {
+namespace obs {
+
+/** The telemetry outputs of one simulation run; either may be null. */
+struct SimTelemetry {
+    TraceEventSink* trace = nullptr;
+    MetricsRegistry* metrics = nullptr;
+};
+
+} // namespace obs
+} // namespace dream
+
+#endif // DREAM_OBS_TELEMETRY_H

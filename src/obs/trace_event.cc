@@ -1,0 +1,159 @@
+#include "obs/trace_event.h"
+
+#include <cmath>
+
+#include "runner/table.h"
+
+namespace dream {
+namespace obs {
+
+namespace {
+
+/** JSON string literal with the usual control escapes. */
+std::string
+jsonQuote(const std::string& s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n";  break;
+          case '\r': out += "\\r";  break;
+          case '\t': out += "\\t";  break;
+          default:   out += c;      break;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/** A double as a JSON value: null for NaN/inf. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    return runner::preciseDouble(v);
+}
+
+} // anonymous namespace
+
+TraceArgs&
+TraceArgs::str(const std::string& key, const std::string& value)
+{
+    kv_.push_back({key, jsonQuote(value)});
+    return *this;
+}
+
+TraceArgs&
+TraceArgs::num(const std::string& key, double value)
+{
+    kv_.push_back({key, jsonNumber(value)});
+    return *this;
+}
+
+TraceArgs&
+TraceArgs::integer(const std::string& key, long long value)
+{
+    kv_.push_back({key, std::to_string(value)});
+    return *this;
+}
+
+void
+TraceEventSink::processName(const std::string& name)
+{
+    TraceEvent e;
+    e.name = "process_name";
+    e.ph = 'M';
+    e.args.push_back({"name", jsonQuote(name)});
+    events_.push_back(std::move(e));
+}
+
+void
+TraceEventSink::threadName(int64_t tid, const std::string& name)
+{
+    TraceEvent e;
+    e.name = "thread_name";
+    e.ph = 'M';
+    e.tid = tid;
+    e.args.push_back({"name", jsonQuote(name)});
+    events_.push_back(std::move(e));
+}
+
+void
+TraceEventSink::runMeta(const TraceArgs& args)
+{
+    TraceEvent e;
+    e.name = "dream_meta";
+    e.ph = 'M';
+    e.args = args.items();
+    events_.push_back(std::move(e));
+}
+
+void
+TraceEventSink::span(int64_t tid, const std::string& name,
+                     const std::string& cat, double ts_us,
+                     double dur_us, const TraceArgs& args)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'X';
+    e.tsUs = ts_us;
+    e.durUs = dur_us;
+    e.tid = tid;
+    e.args = args.items();
+    events_.push_back(std::move(e));
+}
+
+void
+TraceEventSink::instant(int64_t tid, const std::string& name,
+                        const std::string& cat, double ts_us,
+                        const TraceArgs& args)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.tsUs = ts_us;
+    e.tid = tid;
+    e.args = args.items();
+    events_.push_back(std::move(e));
+}
+
+void
+TraceEventSink::writeJson(std::ostream& out) const
+{
+    out << "[\n";
+    for (size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent& e = events_[i];
+        out << "{\"name\": " << jsonQuote(e.name);
+        if (!e.cat.empty())
+            out << ", \"cat\": " << jsonQuote(e.cat);
+        out << ", \"ph\": \"" << e.ph << '"';
+        if (e.ph != 'M') {
+            out << ", \"ts\": " << jsonNumber(e.tsUs);
+            if (e.ph == 'X')
+                out << ", \"dur\": " << jsonNumber(e.durUs);
+            if (e.ph == 'i')
+                out << ", \"s\": \"t\"";
+        }
+        out << ", \"pid\": " << pid_ << ", \"tid\": " << e.tid;
+        if (!e.args.empty()) {
+            out << ", \"args\": {";
+            for (size_t a = 0; a < e.args.size(); ++a) {
+                if (a)
+                    out << ", ";
+                out << jsonQuote(e.args[a].first) << ": "
+                    << e.args[a].second;
+            }
+            out << '}';
+        }
+        out << '}' << (i + 1 < events_.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+}
+
+} // namespace obs
+} // namespace dream

@@ -41,7 +41,7 @@ writeFrameTraceCsv(std::ostream& os, const sim::RunStats& stats,
     os << frameTraceCsvHeader() << '\n';
     for (const auto& fr : stats.frames) {
         const auto& model = scenario.tasks[size_t(fr.task)].model;
-        const bool completed = fr.completionUs >= 0.0;
+        const bool completed = fr.isCompleted();
         os << fr.task << ',' << csvQuote(model.name) << ','
            << fr.frameIdx << ',' << preciseDouble(fr.arrivalUs) << ','
            << preciseDouble(fr.deadlineUs) << ',';

@@ -9,6 +9,7 @@
 #define DREAM_SIM_REQUEST_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "hw/accelerator.h"
@@ -64,7 +65,8 @@ struct Request {
 
     bool dropped = false;
     bool done = false;
-    double completionUs = -1.0;
+    /** Completion time; NaN until done (matches FrameRecord). */
+    double completionUs = std::numeric_limits<double>::quiet_NaN();
     /** Energy actually spent on this frame so far (mJ). */
     double energyMj = 0.0;
     /** Worst-case energy of the originally materialised path (mJ). */

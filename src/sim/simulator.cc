@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <string>
 
 #include "costmodel/layer_cost.h"
+#include "obs/telemetry.h"
 #include "sim/context_switch.h"
 
 namespace dream {
@@ -72,6 +75,17 @@ Simulator::admitFrame(const workload::FrameSpec& spec)
     }
 
     taskQueues_[spec.task].push_back(req->id);
+
+    if (config_.telemetry && config_.telemetry->trace) {
+        config_.telemetry->trace->instant(
+            framesTid_, "frame_arrival", "frame", nowUs_,
+            obs::TraceArgs()
+                .integer("task", spec.task)
+                .integer("frame", spec.frameIdx)
+                .num("arrival_us", spec.arrivalUs)
+                .num("deadline_us", spec.deadlineUs));
+    }
+
     requests_.push_back(std::move(req));
 }
 
@@ -91,6 +105,12 @@ Simulator::completeJob(const Job& job)
     assert(acc.freeSlices <= acc.config->numSlices);
     assert(acc.runningJobs > 0);
     acc.runningJobs -= 1;
+    // Close the accelerator's busy interval when its last job ends:
+    // accelBusyUs is the union of job intervals (co-located jobs
+    // overlap), the same union dream_prof recomputes from job spans.
+    if (acc.runningJobs == 0)
+        stats_.accelBusyUs[job.accel] +=
+            job.endUs - busyStartUs_[job.accel];
 
     // Record what this job leaves in the on-chip buffer: the input of
     // the request's next layer when unfinished, nothing otherwise.
@@ -120,6 +140,23 @@ Simulator::completeJob(const Job& job)
             ts.violatedFrames += 1;
     }
 
+    if (config_.telemetry) {
+        if (config_.telemetry->metrics) {
+            config_.telemetry->metrics->histogram("frame/latency_us")
+                .record(req.completionUs - req.arrivalUs);
+        }
+        if (config_.telemetry->trace &&
+            req.completionUs > req.deadlineUs) {
+            config_.telemetry->trace->instant(
+                framesTid_, "deadline_violation", "frame", nowUs_,
+                obs::TraceArgs()
+                    .integer("task", req.task)
+                    .integer("frame", req.frameIdx)
+                    .num("deadline_us", req.deadlineUs)
+                    .num("completion_us", req.completionUs));
+        }
+    }
+
     // Launch dependent pipeline stages whose cascade gate fired.
     const auto children = scenario_.childrenOf(req.task);
     for (size_t i = 0; i < children.size(); ++i) {
@@ -143,6 +180,15 @@ Simulator::applySwitch(const VariantSwitch& sw)
     req.path = model.variantPath(size_t(sw.variant));
     req.variant = sw.variant;
     req.pathVersion += 1;
+
+    if (config_.telemetry && config_.telemetry->trace) {
+        config_.telemetry->trace->instant(
+            framesTid_, "variant_switch", "frame", nowUs_,
+            obs::TraceArgs()
+                .integer("task", req.task)
+                .integer("frame", req.frameIdx)
+                .integer("variant", sw.variant));
+    }
 }
 
 void
@@ -160,6 +206,15 @@ Simulator::applyDrop(const FrameDrop& drop)
     // chain condition 3 restricts drops to leaf models, but guard
     // regardless by clearing the triggers.
     req.childTriggers.assign(req.childTriggers.size(), 0);
+
+    if (config_.telemetry && config_.telemetry->trace) {
+        config_.telemetry->trace->instant(
+            framesTid_, "frame_drop", "frame", nowUs_,
+            obs::TraceArgs()
+                .integer("task", req.task)
+                .integer("frame", req.frameIdx)
+                .num("deadline_us", req.deadlineUs));
+    }
 }
 
 void
@@ -195,12 +250,15 @@ Simulator::applyDispatch(const Dispatch& d)
     // Context switch: flush the resident activations of the previous
     // request, fetch this request's live activations (Section 3.4).
     const SwitchTraffic cs = switchTraffic(acc, req);
+    double cs_latency_us = 0.0;
     if (cs.any()) {
         const double cs_energy =
             cost::contextSwitchEnergyMj(cs.flushBytes, cs.fetchBytes);
         energy_mj += cs_energy;
-        latency_us += cost::contextSwitchLatencyUs(cs.total(),
-                                                   *acc.config, slices);
+        cs_latency_us = cost::contextSwitchLatencyUs(cs.total(),
+                                                     *acc.config,
+                                                     slices);
+        latency_us += cs_latency_us;
         stats_.contextSwitches += 1;
         stats_.contextSwitchEnergyMj += cs_energy;
     }
@@ -211,10 +269,50 @@ Simulator::applyDispatch(const Dispatch& d)
     stats_.tasks[req.task].energyMj += energy_mj;
 
     acc.freeSlices -= slices;
+    // An idle accelerator turns busy: open its busy interval.
+    if (acc.runningJobs == 0)
+        busyStartUs_[d.accel] = nowUs_;
     acc.runningJobs += 1;
     acc.lastTask = req.task;
     acc.busyUntilUs = std::max(acc.busyUntilUs, job.endUs);
     acc.residentRequestId = req.id;
+
+    if (config_.telemetry) {
+        // Queue wait: arrival to first layer dispatch.
+        if (config_.telemetry->metrics && job.layerBegin == 0) {
+            config_.telemetry->metrics
+                ->histogram("frame/queue_wait_us")
+                .record(nowUs_ - req.arrivalUs);
+        }
+        if (config_.telemetry->trace) {
+            obs::TraceEventSink& trace = *config_.telemetry->trace;
+            obs::TraceArgs args;
+            args.integer("task", req.task)
+                .integer("frame", req.frameIdx)
+                .integer("request", req.id)
+                .str("layers",
+                     std::to_string(job.layerBegin) + ':' +
+                         std::to_string(job.layerEnd))
+                .integer("slices", (long long) slices);
+            if (cs.any())
+                args.num("cs_us", cs_latency_us);
+            trace.span(d.accel,
+                       scenario_.tasks[req.task].model.name, "job",
+                       nowUs_, latency_us, args);
+            // The context-switch cost nests as a child span at the
+            // start of the job it delays (emitted after the longer
+            // enclosing span so same-ts slices nest correctly).
+            if (cs.any()) {
+                trace.span(d.accel, "context_switch", "cs", nowUs_,
+                           cs_latency_us,
+                           obs::TraceArgs()
+                               .integer("flush_bytes",
+                                        (long long) cs.flushBytes)
+                               .integer("fetch_bytes",
+                                        (long long) cs.fetchBytes));
+            }
+        }
+    }
 
     completions_.push(JobEvent{job.endUs, job});
 }
@@ -276,14 +374,50 @@ Simulator::applyPlan(const Plan& plan)
 void
 Simulator::invokeScheduler(Scheduler& sched)
 {
+    // Wall-clock decision timing is only taken when telemetry is
+    // attached; the result is inherently host-dependent, so it rides
+    // on the trace event (`wall_ns`) and a volatile histogram — never
+    // in the canonical --metrics dump.
+    obs::SimTelemetry* tel = config_.telemetry;
+    const auto t0 = tel ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+
+    int rounds = 0;
+    bool converged = false;
     for (int round = 0; round < kMaxPlanRounds; ++round) {
         buildContext();
         Plan plan = sched.plan(ctx_);
         stats_.schedulerInvocations += 1;
-        if (!applyPlan(plan))
-            return;
+        ++rounds;
+        if (!applyPlan(plan)) {
+            converged = true;
+            break;
+        }
     }
-    assert(false && "scheduler failed to converge");
+    assert(converged && "scheduler failed to converge");
+    (void) converged;
+
+    if (tel) {
+        const double wall_ns =
+            double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+        if (tel->metrics) {
+            tel->metrics->histogram("sched/plan_rounds")
+                .record(double(rounds));
+            auto& wall = tel->metrics->histogram(
+                "sched/decision_wall_ns");
+            tel->metrics->markVolatile("sched/decision_wall_ns");
+            wall.record(wall_ns);
+        }
+        if (tel->trace) {
+            tel->trace->span(schedTid_, "schedule", "sched", nowUs_,
+                             0.0,
+                             obs::TraceArgs()
+                                 .integer("rounds", rounds)
+                                 .num("wall_ns", wall_ns));
+        }
+    }
 }
 
 RunStats
@@ -304,6 +438,10 @@ Simulator::run(Scheduler& sched)
     nowUs_ = 0.0;
     stats_ = RunStats{};
     stats_.windowUs = config_.windowUs;
+    stats_.accelBusyUs.assign(accels_.size(), 0.0);
+    busyStartUs_.assign(accels_.size(), 0.0);
+    schedTid_ = int64_t(accels_.size());
+    framesTid_ = schedTid_ + 1;
     stats_.tasks.resize(scenario_.tasks.size());
     for (size_t t = 0; t < scenario_.tasks.size(); ++t) {
         stats_.tasks[t].model = scenario_.tasks[t].model.name;
@@ -321,6 +459,20 @@ Simulator::run(Scheduler& sched)
             scenario_, config_.seed);
         source_ = ownedSource_.get();
     }
+    if (config_.telemetry && config_.telemetry->trace) {
+        // Track naming: tid 0..N-1 = accelerators (paired with the
+        // Table 2 config name), then the scheduler and the frame-
+        // lifecycle instants. dream_prof keys its utilization table
+        // off the "accel" prefix.
+        obs::TraceEventSink& trace = *config_.telemetry->trace;
+        for (size_t i = 0; i < accels_.size(); ++i)
+            trace.threadName(int64_t(i),
+                             "accel" + std::to_string(i) + ' ' +
+                                 accels_[i].config->name);
+        trace.threadName(schedTid_, "scheduler");
+        trace.threadName(framesTid_, "frames");
+    }
+
     auto arrivals = source_->rootFrames(config_.windowUs);
     // Stable: simultaneous arrivals keep source order, so a trace
     // replay (whose source order is the recorded admission order)
@@ -370,6 +522,17 @@ Simulator::run(Scheduler& sched)
 void
 Simulator::finalizeStats()
 {
+    // Close busy intervals still open at window end (jobs running
+    // past the window count up to the window boundary, so
+    // utilization = busy / window stays <= 1).
+    for (size_t i = 0; i < accels_.size(); ++i) {
+        if (accels_[i].runningJobs > 0)
+            stats_.accelBusyUs[i] +=
+                config_.windowUs - busyStartUs_[i];
+        stats_.accelBusyUs[i] =
+            std::min(stats_.accelBusyUs[i], config_.windowUs);
+    }
+
     // Frames unfinished at window end with an in-window deadline are
     // violations; Supernet variant usage is tallied over started
     // frames; the per-frame trace is emitted in admission order.
@@ -402,6 +565,36 @@ Simulator::finalizeStats()
         fr.variant = req.variant;
         fr.energyMj = req.energyMj;
         stats_.frames.push_back(fr);
+    }
+
+    // End-of-run metrics: deterministic sim-time aggregates only
+    // (everything here derives from RunStats, which is byte-identical
+    // for any worker count).
+    if (config_.telemetry && config_.telemetry->metrics) {
+        obs::MetricsRegistry& m = *config_.telemetry->metrics;
+        uint64_t total = 0, completed = 0, violated = 0, dropped = 0;
+        for (const auto& ts : stats_.tasks) {
+            total += ts.totalFrames;
+            completed += ts.completedFrames;
+            violated += ts.violatedFrames;
+            dropped += ts.droppedFrames;
+        }
+        m.count("frames/total", total);
+        m.count("frames/completed", completed);
+        m.count("frames/violated", violated);
+        m.count("frames/dropped", dropped);
+        m.count("frames/admitted", requests_.size());
+        m.count("sim/context_switches", stats_.contextSwitches);
+        m.count("sched/invocations", stats_.schedulerInvocations);
+        m.gaugeAdd("sim/window_us", config_.windowUs);
+        m.gaugeAdd("sim/energy_mj", stats_.totalEnergyMj());
+        for (size_t i = 0; i < accels_.size(); ++i) {
+            const std::string prefix =
+                "accel/" + std::to_string(i) + '/';
+            m.gaugeAdd(prefix + "busy_us", stats_.accelBusyUs[i]);
+            m.gaugeAdd(prefix + "idle_us",
+                       config_.windowUs - stats_.accelBusyUs[i]);
+        }
     }
 }
 

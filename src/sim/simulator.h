@@ -26,6 +26,11 @@
 #include "workload/scenario.h"
 
 namespace dream {
+
+namespace obs {
+struct SimTelemetry;
+}
+
 namespace sim {
 
 /** Run parameters. */
@@ -43,6 +48,13 @@ struct SimConfig {
      * run() call; the caller keeps ownership.
      */
     const workload::ArrivalSource* arrivals = nullptr;
+    /**
+     * Optional externally-owned telemetry outputs (src/obs/). Null —
+     * the default — records nothing and costs one pointer test per
+     * hook site; the run itself is bit-identical either way (the
+     * instrumentation only observes). Must outlive every run() call.
+     */
+    obs::SimTelemetry* telemetry = nullptr;
 };
 
 /**
@@ -96,6 +108,12 @@ private:
     double nowUs_ = 0.0;
     RunStats stats_;
     SchedulerContext ctx_;
+    /** Start of the current busy interval per accelerator (valid
+     *  while runningJobs > 0) — feeds RunStats::accelBusyUs. */
+    std::vector<double> busyStartUs_;
+    /** Scheduler/frame-lifecycle track ids of the trace sink. */
+    int64_t schedTid_ = 0;
+    int64_t framesTid_ = 0;
 };
 
 } // namespace sim

@@ -8,7 +8,9 @@
 #ifndef DREAM_SIM_STATS_H
 #define DREAM_SIM_STATS_H
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -46,8 +48,10 @@ struct FrameRecord {
     int frameIdx = 0;
     double arrivalUs = 0.0;
     double deadlineUs = 0.0;
-    /** Completion time; negative if never completed. */
-    double completionUs = -1.0;
+    /** Completion time; NaN if never completed — the same sentinel
+     *  the trace CSV reader/writer use (empty cell <-> NaN), so the
+     *  in-memory record round-trips without translation. */
+    double completionUs = std::numeric_limits<double>::quiet_NaN();
     bool dropped = false;
     bool violated = false;
     /**
@@ -60,6 +64,9 @@ struct FrameRecord {
     bool inWindow = true;
     int variant = 0;
     double energyMj = 0.0;
+
+    /** True when the frame completed (completionUs is a real time). */
+    bool isCompleted() const { return !std::isnan(completionUs); }
 };
 
 /** Statistics for one complete simulation run. */
@@ -77,6 +84,15 @@ struct RunStats {
     double contextSwitchEnergyMj = 0.0;
     /** Scheduler invocations (plan() calls). */
     uint64_t schedulerInvocations = 0;
+    /**
+     * Per-accelerator busy time (us), indexed like the system's
+     * accelerator list: the union of job execution intervals, clamped
+     * to the run window. windowUs - accelBusyUs[i] is accelerator
+     * i's idle time; tools/dream_prof recomputes the same union from
+     * the recorded job spans, so trace-derived utilization is checked
+     * against this field.
+     */
+    std::vector<double> accelBusyUs;
 
     /** Sum of per-task deadline-violation rates (Algorithm 2 L10). */
     double overallDlvRate() const;

@@ -334,6 +334,7 @@ runOrchestrator(const OrchestratorOptions& opts)
     result.chunks.resize(chunks.size());
     for (size_t i = 0; i < chunks.size(); ++i)
         result.chunks[i].chunk = chunks[i];
+    result.workerStats.resize(result.workers);
 
     if (opts.verbose)
         std::fprintf(stderr,
@@ -397,6 +398,14 @@ runOrchestrator(const OrchestratorOptions& opts)
         outcome.attempts = queue.attempts(run.id);
         outcome.worker = run.slot;
         outcome.wallSeconds = secondsSince(run.start);
+        // Per-attempt worker bookkeeping: ChunkOutcome only keeps
+        // the last attempt, so retried chunks are credited to every
+        // slot that ran them here.
+        WorkerOutcome& ws = result.workerStats[size_t(run.slot)];
+        ws.chunksRun += 1;
+        ws.busySeconds += outcome.wallSeconds;
+        if (status != 0)
+            ws.failedAttempts += 1;
         if (status == 0) {
             outcome.ok = true;
             queue.complete(run.id);
@@ -521,6 +530,33 @@ writeChunkReport(const OrchestratorOptions& opts,
         out << "| " << i << " | [" << c.chunk.toString() << ") | "
             << c.rows << " | " << c.attempts << " | " << c.worker
             << " | " << buf << " |\n";
+    }
+
+    // Per-worker occupancy: idle is measured against the makespan,
+    // so a slot that sat out most of the run (chunk-cost skew, or a
+    // crashed worker's chunks migrating elsewhere) shows up as a
+    // low utilization row.
+    if (!result.workerStats.empty()) {
+        out << "\n| worker | chunks run | failed attempts | "
+               "busy (s) | idle (s) | utilization |\n"
+            << "|--:|--:|--:|--:|--:|--:|\n";
+        for (size_t w = 0; w < result.workerStats.size(); ++w) {
+            const WorkerOutcome& ws = result.workerStats[w];
+            const double busy = ws.busySeconds;
+            const double idle =
+                std::max(0.0, result.wallSeconds - busy);
+            const double util =
+                result.wallSeconds > 0.0
+                    ? busy / result.wallSeconds : 0.0;
+            char busy_s[64], idle_s[64], util_s[64];
+            std::snprintf(busy_s, sizeof busy_s, "%.3f", busy);
+            std::snprintf(idle_s, sizeof idle_s, "%.3f", idle);
+            std::snprintf(util_s, sizeof util_s, "%.1f%%",
+                          util * 100.0);
+            out << "| " << w << " | " << ws.chunksRun << " | "
+                << ws.failedAttempts << " | " << busy_s << " | "
+                << idle_s << " | " << util_s << " |\n";
+        }
     }
     out.flush();
 }

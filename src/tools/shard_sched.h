@@ -135,6 +135,20 @@ struct OrchestratorOptions {
     bool verbose = true; ///< per-chunk progress lines on stderr
 };
 
+/**
+ * One worker slot's occupancy over a whole orchestrated run, summed
+ * over every attempt the slot executed (a requeued chunk counts on
+ * every slot that ran it — ChunkOutcome only keeps the last
+ * attempt's slot). Feeds the per-worker utilization section of the
+ * chunk report, where one starved or overloaded leg is visible at a
+ * glance.
+ */
+struct WorkerOutcome {
+    size_t chunksRun = 0;      ///< attempts executed on this slot
+    size_t failedAttempts = 0; ///< of those, how many failed
+    double busySeconds = 0.0;  ///< summed attempt wall time
+};
+
 /** What one orchestrated run did. */
 struct OrchestratorResult {
     bool ok = false;          ///< every chunk completed and merged
@@ -145,6 +159,7 @@ struct OrchestratorResult {
     size_t failedChunks = 0;  ///< chunks that exhausted the budget
     double wallSeconds = 0.0; ///< makespan (count + run + merge)
     std::vector<ChunkOutcome> chunks; ///< partition order
+    std::vector<WorkerOutcome> workerStats; ///< by worker slot
 };
 
 /**

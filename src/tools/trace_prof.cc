@@ -1,0 +1,515 @@
+#include "tools/trace_prof.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "runner/table.h"
+
+namespace dream {
+namespace tools {
+
+namespace {
+
+/**
+ * One parsed member value of a trace event: a decoded string, a
+ * verbatim scalar token, or a flat object (the "args" member, whose
+ * values are themselves strings or scalars).
+ */
+struct EventValue {
+    enum Kind { String, Scalar, Object } kind = Scalar;
+    bool wasString = false; ///< object members: value was a string
+    std::string text;
+    std::vector<std::pair<std::string, std::string>> members;
+};
+
+/**
+ * Recursive-descent parser for the trace-event files TraceEventSink
+ * writes. Deliberately separate from the result-JSON parser in
+ * json_result.cc: event args nest string values inside objects,
+ * which the flat result records never do.
+ */
+class EventParser {
+public:
+    EventParser(const std::string& text, const std::string& name)
+        : text_(text), name_(name)
+    {}
+
+    bool atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+    bool consume(char c)
+    {
+        if (atEnd() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              default:
+                  fail(std::string("unsupported escape \\") + esc);
+            }
+        }
+        fail("unterminated string");
+        return out; // unreachable
+    }
+
+    std::string parseScalar()
+    {
+        skipWs();
+        const size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ',' || c == '}' || c == ']' ||
+                std::isspace(static_cast<unsigned char>(c)))
+                break;
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("empty scalar");
+        return text_.substr(start, pos_ - start);
+    }
+
+    EventValue parseValue()
+    {
+        EventValue v;
+        const char c = peek();
+        if (c == '"') {
+            v.kind = EventValue::String;
+            v.text = parseString();
+        } else if (c == '{') {
+            v.kind = EventValue::Object;
+            expect('{');
+            if (!consume('}'))
+                for (;;) {
+                    std::string key = parseString();
+                    expect(':');
+                    std::string val = peek() == '"' ? parseString()
+                                                    : parseScalar();
+                    v.members.push_back(
+                        {std::move(key), std::move(val)});
+                    if (consume('}'))
+                        break;
+                    expect(',');
+                }
+        } else {
+            v.kind = EventValue::Scalar;
+            v.text = parseScalar();
+        }
+        return v;
+    }
+
+    std::vector<std::pair<std::string, EventValue>> parseEvent()
+    {
+        std::vector<std::pair<std::string, EventValue>> members;
+        expect('{');
+        if (consume('}'))
+            return members;
+        for (;;) {
+            std::string key = parseString();
+            expect(':');
+            members.push_back({std::move(key), parseValue()});
+            if (consume('}'))
+                return members;
+            expect(',');
+        }
+    }
+
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        throw std::runtime_error(name_ + ": " + what +
+                                 " at byte " + std::to_string(pos_));
+    }
+
+private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string& text_;
+    const std::string name_;
+    size_t pos_ = 0;
+};
+
+double
+parseNumber(const std::string& token, const std::string& name,
+            const std::string& field, size_t index)
+{
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0')
+        throw std::runtime_error(
+            name + ": event " + std::to_string(index) +
+            ": non-numeric \"" + field + "\": " + token);
+    return v;
+}
+
+/** Union length of [begin, end) intervals (modifies @p spans). */
+double
+intervalUnion(std::vector<std::pair<double, double>>& spans)
+{
+    std::sort(spans.begin(), spans.end());
+    double total = 0.0;
+    double cur_begin = 0.0, cur_end = -1.0;
+    bool open = false;
+    for (const auto& s : spans) {
+        if (s.second <= s.first)
+            continue;
+        if (!open || s.first > cur_end) {
+            if (open)
+                total += cur_end - cur_begin;
+            cur_begin = s.first;
+            cur_end = s.second;
+            open = true;
+        } else {
+            cur_end = std::max(cur_end, s.second);
+        }
+    }
+    if (open)
+        total += cur_end - cur_begin;
+    return total;
+}
+
+std::string
+fmtNs(double ns)
+{
+    return runner::fmt(ns, 0);
+}
+
+} // namespace
+
+const std::string*
+ProfEvent::arg(const std::string& key) const
+{
+    for (const auto& kv : args)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+TraceProfile
+readTraceEventJson(std::istream& in, const std::string& name)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    EventParser p(text, name);
+    if (p.atEnd() || p.peek() != '[')
+        throw std::runtime_error(
+            name + ": not a trace-event array (expected '[')");
+    p.expect('[');
+
+    TraceProfile profile;
+    if (!p.consume(']'))
+        for (;;) {
+            const size_t index = profile.events.size();
+            auto members = p.parseEvent();
+
+            ProfEvent ev;
+            bool has_name = false, has_ph = false, has_pid = false,
+                 has_tid = false, has_ts = false, has_dur = false;
+            for (auto& kv : members) {
+                const std::string& key = kv.first;
+                EventValue& val = kv.second;
+                if (key == "name") {
+                    ev.name = val.text;
+                    has_name = true;
+                } else if (key == "cat") {
+                    ev.cat = val.text;
+                } else if (key == "ph") {
+                    if (val.kind != EventValue::String ||
+                        val.text.size() != 1)
+                        throw std::runtime_error(
+                            name + ": event " +
+                            std::to_string(index) +
+                            ": \"ph\" must be a one-char string");
+                    ev.ph = val.text[0];
+                    has_ph = true;
+                } else if (key == "ts") {
+                    ev.tsUs =
+                        parseNumber(val.text, name, "ts", index);
+                    has_ts = true;
+                } else if (key == "dur") {
+                    ev.durUs =
+                        parseNumber(val.text, name, "dur", index);
+                    has_dur = true;
+                } else if (key == "pid") {
+                    ev.pid = (long long) parseNumber(val.text, name,
+                                                     "pid", index);
+                    has_pid = true;
+                } else if (key == "tid") {
+                    ev.tid = (long long) parseNumber(val.text, name,
+                                                     "tid", index);
+                    has_tid = true;
+                } else if (key == "args") {
+                    if (val.kind != EventValue::Object)
+                        throw std::runtime_error(
+                            name + ": event " +
+                            std::to_string(index) +
+                            ": \"args\" must be an object");
+                    ev.args = std::move(val.members);
+                }
+            }
+
+            const auto require = [&](bool ok, const char* what) {
+                if (!ok)
+                    throw std::runtime_error(
+                        name + ": event " + std::to_string(index) +
+                        ": missing " + what);
+            };
+            require(has_name, "\"name\"");
+            require(has_ph, "\"ph\"");
+            require(has_pid, "\"pid\"");
+            require(has_tid, "\"tid\"");
+            switch (ev.ph) {
+              case 'X':
+                require(has_ts, "\"ts\"");
+                require(has_dur, "\"dur\"");
+                if (!(ev.durUs >= 0.0) || !std::isfinite(ev.durUs))
+                    throw std::runtime_error(
+                        name + ": event " + std::to_string(index) +
+                        ": span \"dur\" must be finite and >= 0");
+                break;
+              case 'i':
+                require(has_ts, "\"ts\"");
+                break;
+              case 'M':
+                break; // metadata is timeless
+              default:
+                throw std::runtime_error(
+                    name + ": event " + std::to_string(index) +
+                    ": unknown phase '" + std::string(1, ev.ph) +
+                    "'");
+            }
+            if (ev.ph != 'M' && !std::isfinite(ev.tsUs))
+                throw std::runtime_error(
+                    name + ": event " + std::to_string(index) +
+                    ": non-finite \"ts\"");
+
+            profile.events.push_back(std::move(ev));
+            if (p.consume(']'))
+                break;
+            p.expect(',');
+        }
+    if (!p.atEnd())
+        throw std::runtime_error(name +
+                                 ": trailing data after array");
+
+    // Timestamps must never step backwards within one (pid, tid)
+    // track — the simulator emits in event-loop order, so a
+    // violation means a corrupted or hand-edited trace.
+    std::map<std::pair<long long, long long>, double> last_ts;
+    for (size_t i = 0; i < profile.events.size(); ++i) {
+        const ProfEvent& ev = profile.events[i];
+        if (ev.ph == 'M')
+            continue;
+        const auto track = std::make_pair(ev.pid, ev.tid);
+        const auto it = last_ts.find(track);
+        if (it != last_ts.end() && ev.tsUs < it->second)
+            throw std::runtime_error(
+                name + ": event " + std::to_string(i) +
+                ": timestamp " + runner::preciseDouble(ev.tsUs) +
+                " goes backwards on track pid=" +
+                std::to_string(ev.pid) +
+                " tid=" + std::to_string(ev.tid) + " (previous " +
+                runner::preciseDouble(it->second) + ")");
+        last_ts[track] = ev.tsUs;
+    }
+
+    // Fold events into per-point profiles.
+    std::map<long long, PointProfile> points;
+    std::map<std::pair<long long, long long>, std::string>
+        track_names;
+    for (const ProfEvent& ev : profile.events) {
+        PointProfile& pt = points[ev.pid];
+        pt.pid = ev.pid;
+        if (ev.ph == 'M') {
+            const std::string* n = ev.arg("name");
+            if (ev.name == "process_name" && n && pt.key.empty())
+                pt.key = *n;
+            else if (ev.name == "thread_name" && n)
+                track_names[{ev.pid, ev.tid}] = *n;
+            else if (ev.name == "dream_meta") {
+                if (const std::string* k = ev.arg("key"))
+                    pt.key = *k;
+                if (const std::string* w = ev.arg("window_us"))
+                    pt.windowUs = std::strtod(w->c_str(), nullptr);
+            }
+        }
+    }
+
+    // Accelerator tracks carry a "accel<i> ..." thread_name; collect
+    // their job spans and take the interval union per track, each
+    // span clamped to [0, window] — matching the simulator's busy
+    // accounting, which also stops the clock at the window edge.
+    std::map<std::pair<long long, long long>,
+             std::vector<std::pair<double, double>>> job_spans;
+    std::map<std::pair<long long, long long>, size_t> job_counts;
+    for (const ProfEvent& ev : profile.events) {
+        PointProfile& pt = points[ev.pid];
+        if (ev.ph == 'X') {
+            if (ev.cat == "job") {
+                const auto track = std::make_pair(ev.pid, ev.tid);
+                double begin = std::max(ev.tsUs, 0.0);
+                double end = ev.tsUs + ev.durUs;
+                if (pt.windowUs > 0.0)
+                    end = std::min(end, pt.windowUs);
+                job_spans[track].push_back({begin, end});
+                job_counts[track] += 1;
+            } else if (ev.cat == "cs") {
+                pt.contextSwitches += 1;
+            } else if (ev.cat == "sched") {
+                pt.schedInvocations += 1;
+                if (const std::string* w = ev.arg("wall_ns"))
+                    pt.decisionWallNs.push_back(
+                        std::strtod(w->c_str(), nullptr));
+                if (const std::string* r = ev.arg("rounds"))
+                    pt.planRounds.push_back(
+                        std::strtod(r->c_str(), nullptr));
+            }
+        } else if (ev.ph == 'i') {
+            if (ev.name == "frame_arrival")
+                pt.frameArrivals += 1;
+            else if (ev.name == "frame_drop")
+                pt.frameDrops += 1;
+            else if (ev.name == "deadline_violation")
+                pt.deadlineViolations += 1;
+            else if (ev.name == "variant_switch")
+                pt.variantSwitches += 1;
+        }
+    }
+
+    for (auto& entry : points) {
+        PointProfile& pt = entry.second;
+        for (const auto& tn : track_names) {
+            if (tn.first.first != pt.pid)
+                continue;
+            if (tn.second.compare(0, 5, "accel") != 0)
+                continue;
+            AccelProfile ap;
+            ap.tid = tn.first.second;
+            ap.name = tn.second;
+            const auto it = job_spans.find(tn.first);
+            if (it != job_spans.end()) {
+                ap.jobs = job_counts[tn.first];
+                ap.busyUs = intervalUnion(it->second);
+            }
+            pt.accels.push_back(std::move(ap));
+        }
+        std::sort(pt.accels.begin(), pt.accels.end(),
+                  [](const AccelProfile& a, const AccelProfile& b) {
+                      return a.tid < b.tid;
+                  });
+        profile.points.push_back(std::move(pt));
+    }
+    return profile;
+}
+
+TraceProfile
+readTraceEventJson(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        throw std::runtime_error("cannot open trace file: " + path);
+    return readTraceEventJson(in, path);
+}
+
+std::string
+profileReport(const TraceProfile& profile)
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const PointProfile& pt : profile.points) {
+        if (!first)
+            out << "\n";
+        first = false;
+        out << "=== "
+            << (pt.key.empty() ? std::string("pid ") +
+                                     std::to_string(pt.pid)
+                               : pt.key)
+            << " (pid=" << pt.pid << ", window="
+            << runner::preciseDouble(pt.windowUs) << " us) ===\n";
+
+        runner::Table util({"accel", "tid", "jobs", "busy (us)",
+                            "util"});
+        for (const AccelProfile& ap : pt.accels)
+            util.addRow({ap.name, std::to_string(ap.tid),
+                         std::to_string(ap.jobs),
+                         runner::fmt(ap.busyUs, 1),
+                         runner::fmtPct(
+                             ap.utilization(pt.windowUs), 1)});
+        out << util.str();
+
+        obs::LatencyHistogram wall;
+        for (double ns : pt.decisionWallNs)
+            wall.record(ns);
+        out << "scheduler: " << pt.schedInvocations
+            << " invocations\n";
+        if (!wall.empty()) {
+            runner::Table lat({"decision latency", "min", "p50",
+                               "p90", "p99", "max"});
+            lat.addRow({"wall ns", fmtNs(wall.min()),
+                        fmtNs(wall.quantile(0.50)),
+                        fmtNs(wall.quantile(0.90)),
+                        fmtNs(wall.quantile(0.99)),
+                        fmtNs(wall.max())});
+            out << lat.str();
+        }
+        out << "frames: arrivals=" << pt.frameArrivals
+            << " drops=" << pt.frameDrops
+            << " deadline_violations=" << pt.deadlineViolations
+            << " variant_switches=" << pt.variantSwitches
+            << " context_switches=" << pt.contextSwitches << "\n";
+    }
+    return out.str();
+}
+
+} // namespace tools
+} // namespace dream

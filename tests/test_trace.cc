@@ -45,7 +45,12 @@ expectStatsBitIdentical(const sim::RunStats& a, const sim::RunStats& b)
         EXPECT_EQ(fa.frameIdx, fb.frameIdx) << "frame " << i;
         EXPECT_EQ(fa.arrivalUs, fb.arrivalUs) << "frame " << i;
         EXPECT_EQ(fa.deadlineUs, fb.deadlineUs) << "frame " << i;
-        EXPECT_EQ(fa.completionUs, fb.completionUs) << "frame " << i;
+        // NaN == never completed: both sides must agree, and real
+        // completion times must match exactly.
+        EXPECT_EQ(fa.isCompleted(), fb.isCompleted()) << "frame " << i;
+        if (fa.isCompleted() && fb.isCompleted())
+            EXPECT_EQ(fa.completionUs, fb.completionUs)
+                << "frame " << i;
         EXPECT_EQ(fa.dropped, fb.dropped) << "frame " << i;
         EXPECT_EQ(fa.violated, fb.violated) << "frame " << i;
         EXPECT_EQ(fa.inWindow, fb.inWindow) << "frame " << i;
@@ -86,7 +91,7 @@ TEST(Trace, FrameRecordsMatchTaskStats)
     std::vector<uint64_t> dropped(scenario.tasks.size(), 0);
     for (const auto& fr : r.stats.frames) {
         EXPECT_GE(fr.deadlineUs, fr.arrivalUs);
-        if (fr.completionUs >= 0.0) {
+        if (fr.isCompleted()) {
             EXPECT_GE(fr.completionUs, fr.arrivalUs);
         }
         if (!fr.inWindow)
@@ -158,7 +163,7 @@ TEST(Trace, RoundTripIsLosslessIncludingMeta)
         // Doubles survive the text round trip bit for bit.
         EXPECT_EQ(got.arrivalUs, want.arrivalUs);
         EXPECT_EQ(got.deadlineUs, want.deadlineUs);
-        if (want.completionUs >= 0.0) {
+        if (want.isCompleted()) {
             EXPECT_EQ(got.completionUs, want.completionUs);
             EXPECT_EQ(got.latencyUs,
                       want.completionUs - want.arrivalUs);
@@ -220,7 +225,7 @@ TEST(Trace, DroppedFramesWriteEmptyCellsNotSentinels)
     fr.frameIdx = 0;
     fr.arrivalUs = 10.0;
     fr.deadlineUs = 20.0;
-    fr.completionUs = -1.0; // never completed (dropped)
+    // completionUs stays at its NaN default: never completed.
     fr.dropped = true;
     fr.violated = true;
     stats.frames.push_back(fr);

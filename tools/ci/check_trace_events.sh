@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI gate for telemetry event traces: every *.trace.json under the
+# given directory must pass dream_prof --check (parse as a Chrome
+# trace-event array, carry the required fields per phase, keep
+# timestamps non-decreasing per track). An empty directory fails —
+# a bench that silently stopped writing traces must not pass the
+# observability leg.
+#
+# Usage: check_trace_events.sh DREAM_PROF TRACE_DIR
+set -eu
+
+prof="$1"
+dir="$2"
+
+if [ ! -d "$dir" ]; then
+    echo "check_trace_events: no such directory: $dir" >&2
+    exit 1
+fi
+
+found=false
+for f in "$dir"/*.trace.json; do
+    [ -e "$f" ] || break
+    found=true
+done
+if ! $found; then
+    echo "check_trace_events: no *.trace.json files in $dir" >&2
+    exit 1
+fi
+
+exec "$prof" --check "$dir"

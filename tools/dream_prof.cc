@@ -1,0 +1,140 @@
+/**
+ * @file
+ * dream_prof: read telemetry event traces (`bench --trace-events
+ * DIR`, Chrome trace-event JSON) and print per-accelerator
+ * utilization and scheduler decision-latency tables per grid point.
+ * `--check` validates only (array shape, required fields,
+ * non-decreasing timestamps per track) and prints one OK line per
+ * file — the CI trace gate. Inputs are trace files or directories
+ * (scanned for *.trace.json). Exits 0 when every input is valid, 1
+ * on any validation/parse failure, 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tools/trace_prof.h"
+
+using namespace dream;
+
+namespace {
+
+void
+printUsage(const char* prog)
+{
+    std::printf("usage: %s [--check] PATH [PATH ...]\n"
+                "  PATH      a .trace.json file, or a directory "
+                "scanned for\n            *.trace.json (the layout "
+                "bench --trace-events DIR writes)\n"
+                "  --check   validate only: parse every file, check "
+                "the event\n            shape and per-track "
+                "timestamp monotonicity, print one\n            OK "
+                "line per file; exit 1 on the first failure\n"
+                "without --check, prints per-accelerator utilization "
+                "and\nscheduler decision-latency tables for every "
+                "point\n",
+                prog);
+}
+
+bool
+isTraceFile(const std::string& path)
+{
+    static const std::string kSuffix = ".trace.json";
+    return path.size() >= kSuffix.size() &&
+           path.compare(path.size() - kSuffix.size(),
+                        kSuffix.size(), kSuffix) == 0;
+}
+
+/** Expand files/directories into a sorted trace-file list. */
+std::vector<std::string>
+collectInputs(const std::vector<std::string>& paths)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto& path : paths) {
+        if (fs::is_directory(path)) {
+            std::vector<std::string> found;
+            for (const auto& entry : fs::directory_iterator(path)) {
+                if (entry.is_regular_file() &&
+                    isTraceFile(entry.path().string()))
+                    found.push_back(entry.path().string());
+            }
+            if (found.empty())
+                throw std::runtime_error(
+                    "no *.trace.json files in directory: " + path);
+            std::sort(found.begin(), found.end());
+            files.insert(files.end(), found.begin(), found.end());
+        } else {
+            files.push_back(path);
+        }
+    }
+    return files;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char** argv)
+{
+    bool check_only = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--check") {
+            check_only = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            printUsage(argv[0]);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "no trace files given\n");
+        printUsage(argv[0]);
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    try {
+        files = collectInputs(paths);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dream_prof: %s\n", e.what());
+        return 2;
+    }
+
+    bool first = true;
+    for (const auto& file : files) {
+        try {
+            const tools::TraceProfile profile =
+                tools::readTraceEventJson(file);
+            if (check_only) {
+                std::printf("OK %s (%zu events, %zu points)\n",
+                            file.c_str(), profile.events.size(),
+                            profile.points.size());
+                continue;
+            }
+            if (!first)
+                std::printf("\n");
+            first = false;
+            std::printf("--- %s ---\n", file.c_str());
+            std::fputs(tools::profileReport(profile).c_str(),
+                       stdout);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "dream_prof: %s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}
