@@ -39,6 +39,19 @@
  *                 histograms) as JSON to F when the bench exits.
  *                 Deterministic: byte-identical for any --jobs
  *                 value.
+ *   --metrics-full F
+ *                 like --metrics, but include volatile metrics
+ *                 (engine wall-times, worker counts, cost-cache
+ *                 hit/miss/evict counters). NOT byte-stable across
+ *                 runs — feed to tools/dream_prof for the
+ *                 cache-efficiency table, never to dream_diff.
+ *   --no-cost-cache
+ *                 disable the process-wide shared cost-table cache:
+ *                 every engine run builds its own lazy cost table
+ *                 (the pre-cache behaviour). Results are
+ *                 byte-identical either way — this flag exists so
+ *                 CI can prove that and perf_hotpath can measure
+ *                 the difference.
  *
  * Malformed values of any flag (e.g. a --chunk with B > E,
  * non-numeric or negative positions) are rejected with an error and
@@ -62,6 +75,7 @@
 #include <string>
 #include <vector>
 
+#include "costmodel/cost_table_cache.h"
 #include "engine/engine.h"
 #include "engine/result_sink.h"
 #include "engine/worker_pool.h"
@@ -78,20 +92,28 @@ namespace bench {
  * plumbing.
  */
 struct MetricsFile {
-    std::string path;
+    std::string path;     ///< --metrics: canonical, volatile excluded
+    std::string fullPath; ///< --metrics-full: volatile included
     obs::MetricsRegistry registry;
 
     ~MetricsFile()
     {
-        std::ofstream out(path);
-        if (!out.is_open()) {
-            std::fprintf(stderr,
-                         "cannot open --metrics file for writing: "
-                         "%s\n",
-                         path.c_str());
-            return;
-        }
-        registry.writeJson(out);
+        const auto write = [this](const std::string& p,
+                                  bool include_volatile) {
+            if (p.empty())
+                return;
+            std::ofstream out(p);
+            if (!out.is_open()) {
+                std::fprintf(stderr,
+                             "cannot open metrics file for writing: "
+                             "%s\n",
+                             p.c_str());
+                return;
+            }
+            registry.writeJson(out, include_volatile);
+        };
+        write(path, false);
+        write(fullPath, true);
     }
 };
 
@@ -109,6 +131,8 @@ struct Options {
     std::string traceDir;  ///< --record-trace dir; empty = none
     std::string traceEventDir; ///< --trace-events dir; empty = none
     std::string metricsPath;   ///< --metrics file; empty = none
+    std::string metricsFullPath; ///< --metrics-full file; empty = none
+    bool costCache = true; ///< false with --no-cost-cache
 
     /**
      * Global positions consumed by previous runOrList calls.
@@ -226,7 +250,16 @@ printUsage(const char* prog, const std::vector<ExtraFlag>& extra = {})
                 "registry (counters,\n               gauges, "
                 "latency quantiles) as JSON to F on exit;\n"
                 "               byte-identical for any --jobs "
-                "value\n",
+                "value\n"
+                "  --metrics-full F\n"
+                "               like --metrics but include volatile "
+                "metrics\n               (wall-times, cost-cache "
+                "counters); for\n               dream_prof, not "
+                "byte-stable\n"
+                "  --no-cost-cache\n"
+                "               disable the shared cost-table cache "
+                "(results are\n               byte-identical; only "
+                "throughput changes)\n",
                 prog);
     for (const auto& e : extra)
         std::printf("  %s  %s\n", e.flag, e.help);
@@ -319,6 +352,14 @@ parseArgs(int argc, char** argv, const std::vector<ExtraFlag>& extra = {})
                 std::fprintf(stderr, "--metrics needs a file\n");
                 std::exit(2);
             }
+        } else if (arg == "--metrics-full" && i + 1 < argc) {
+            opts.metricsFullPath = argv[++i];
+            if (opts.metricsFullPath.empty()) {
+                std::fprintf(stderr, "--metrics-full needs a file\n");
+                std::exit(2);
+            }
+        } else if (arg == "--no-cost-cache") {
+            opts.costCache = false;
         } else if (arg == "--list") {
             opts.list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -337,21 +378,32 @@ parseArgs(int argc, char** argv, const std::vector<ExtraFlag>& extra = {})
     }
     if (opts.jobs <= 0)
         opts.jobs = engine::WorkerPool::defaultJobs();
+    // The cache enable flag is process-global: every path that
+    // acquires a cost table (engine runs, runner::runOnce under a
+    // ParamSearch) honours it without plumbing.
+    cost::CostTableCache::setEnabled(opts.costCache);
     // --metrics gets the same fail-fast + --list discipline as --out:
     // verify writability up front (not after minutes of sweeping) and
     // never truncate an existing file under --list, which runs
     // nothing.
-    if (!opts.metricsPath.empty() && !opts.list) {
-        std::ofstream probe(opts.metricsPath);
-        if (!probe.is_open()) {
-            std::fprintf(stderr,
-                         "cannot open --metrics file for writing: "
-                         "%s\n",
-                         opts.metricsPath.c_str());
-            std::exit(2);
+    if ((!opts.metricsPath.empty() || !opts.metricsFullPath.empty()) &&
+        !opts.list) {
+        for (const std::string& p :
+             {opts.metricsPath, opts.metricsFullPath}) {
+            if (p.empty())
+                continue;
+            std::ofstream probe(p);
+            if (!probe.is_open()) {
+                std::fprintf(stderr,
+                             "cannot open metrics file for writing: "
+                             "%s\n",
+                             p.c_str());
+                std::exit(2);
+            }
         }
         opts.metricsFile = std::make_shared<MetricsFile>();
         opts.metricsFile->path = opts.metricsPath;
+        opts.metricsFile->fullPath = opts.metricsFullPath;
     }
     return opts;
 }

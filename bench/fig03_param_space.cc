@@ -15,6 +15,7 @@
 
 #include "bench_main.h"
 #include "engine/param_eval.h"
+#include "engine/param_search.h"
 #include "runner/table.h"
 
 using namespace dream;
@@ -57,11 +58,12 @@ main(int argc, char** argv)
     std::printf("\ngrid optimum: UXCost %.4f at (alpha=%.2f, "
                 "beta=%.2f)\n\n", best.cost, best.alpha, best.beta);
 
-    // Overlay: the shrinking-radius search from a corner start.
+    // Overlay: the shrinking-radius search from a corner start,
+    // memoized on a transposition table — clamped and interpolated
+    // candidates that revisit a point never re-simulate.
     engine::WorkerPool pool(opts.jobs);
-    const auto eval = engine::makeBatchEvaluator(system, scenario, pool);
-    core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
-    const auto result = search.optimize(eval, 0.2, 1.8);
+    engine::ParamSearch search(system, scenario, pool);
+    const auto result = search.optimize(0.2, 1.8);
     runner::Table t({"Step", "alpha", "beta", "UXCost", "radius",
                      "gap to grid optimum"});
     for (const auto& s : result.trajectory) {
@@ -71,7 +73,9 @@ main(int argc, char** argv)
                   runner::fmtPct(s.cost / best.cost - 1.0)});
     }
     t.print();
-    std::printf("\nsearch evaluations: %d (grid: %d)\n",
-                result.evaluations, n * n);
+    std::printf("\nsearch evaluations: %d (simulated %d, "
+                "transposition hits %d; grid: %d)\n",
+                result.evaluations, result.simulated,
+                result.memoHits, n * n);
     return 0;
 }

@@ -16,9 +16,11 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "bench_main.h"
 #include "engine/param_eval.h"
+#include "engine/param_search.h"
 #include "runner/table.h"
 
 using namespace dream;
@@ -77,12 +79,22 @@ main(int argc, char** argv)
 
     // Cases (c) and (d) share the AR_Social reference grid: scan each
     // preset once and reuse (also keeps --out free of duplicate rows).
+    // The memoized searcher is shared per preset too — case (d)
+    // re-walks AR_Social terrain case (c) already simulated, so its
+    // overlapping candidates come out of the transposition table.
     std::map<workload::ScenarioPreset, engine::ParamOptimum> optima;
+    std::map<workload::ScenarioPreset, workload::Scenario> scenarios;
+    std::map<workload::ScenarioPreset,
+             std::unique_ptr<engine::ParamSearch>>
+        searchers;
     size_t next_base = 0;
 
     double locked_a = 1.0, locked_b = 1.0;
     for (auto& c : cases) {
-        const auto scenario = workload::makeScenario(c.preset);
+        if (scenarios.find(c.preset) == scenarios.end())
+            scenarios.emplace(c.preset,
+                              workload::makeScenario(c.preset));
+        const auto& scenario = scenarios.at(c.preset);
 
         if (std::string(c.name).find("(d)") == 0) {
             // Case (d) starts from the parameters case (a) locked.
@@ -105,10 +117,12 @@ main(int argc, char** argv)
         }
         const auto best = optima[c.preset];
 
-        const auto eval =
-            engine::makeBatchEvaluator(system, scenario, pool);
-        core::ParamSearch search(0.5, 0.05, 0.0, 2.0);
-        const auto result = search.optimize(eval, c.a0, c.b0);
+        if (searchers.find(c.preset) == searchers.end())
+            searchers.emplace(
+                c.preset, std::make_unique<engine::ParamSearch>(
+                              system, scenario, pool));
+        engine::ParamSearch& search = *searchers.at(c.preset);
+        const auto result = search.optimize(c.a0, c.b0);
         if (std::string(c.name).find("(a)") == 0) {
             locked_a = result.alpha;
             locked_b = result.beta;
@@ -125,10 +139,14 @@ main(int argc, char** argv)
         }
         t.print();
         std::printf("grid optimum %.4f at (%.2f, %.2f); search "
-                    "reached %.4f (gap %s)\n\n",
+                    "reached %.4f (gap %s)\n",
                     best.cost, best.alpha, best.beta, result.cost,
                     runner::fmtPct(result.cost / best.cost - 1.0)
                         .c_str());
+        std::printf("search evaluations: %d (simulated %d, "
+                    "transposition hits %d)\n\n",
+                    result.evaluations, result.simulated,
+                    result.memoHits);
     }
     std::printf("paper: converges within 2%% of the global optimum "
                 "across workload-change cases\n");

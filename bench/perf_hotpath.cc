@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Sweep-throughput baseline: times the engine hot path with the
+ * shared cost-table cache on and off and writes the numbers to
+ * BENCH_sweep.json — the tracked perf baseline CI uploads per
+ * commit. Two timed sections, each best-of-N repeats:
+ *
+ *  sweep   a dense (alpha, beta) grid over a deliberately short
+ *          window, so the per-point FIXED cost — cost-table
+ *          construction, scenario materialisation, scheduler setup —
+ *          dominates. This is the cost the cache amortises: with the
+ *          cache disabled every point builds its own lazy table (the
+ *          pre-cache behaviour); enabled, the first point builds ONE
+ *          frozen table and every other point shares it. Reported as
+ *          points/sec per mode plus the speedup, and the two modes'
+ *          records are asserted byte-identical before any number is
+ *          written (the cache must never change results, only
+ *          throughput).
+ *
+ *  frame   a small grid over a long window, so the steady-state
+ *          per-frame scheduling cost dominates. Reported as an
+ *          obs::LatencyHistogram over the grid points (point wall
+ *          time / frames simulated): mean / p50 / p95 ns per frame.
+ *
+ * The frame grid doubles as the bench's protocol surface: --list /
+ * --filter / --shard / --chunk / --out / --record-trace work on it
+ * like on any other bench, so the CI orchestrator sweeps it; the
+ * timed sections and the JSON baseline only run on a full
+ * (non-subset) invocation. With --no-cost-cache both sections run
+ * uncached only (no speedup line). --bench-out overrides the JSON
+ * path (default BENCH_sweep.json).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_main.h"
+#include "costmodel/cost_table_cache.h"
+#include "engine/param_eval.h"
+#include "obs/metrics.h"
+
+using namespace dream;
+
+namespace {
+
+constexpr int kRepeats = 3;
+
+/** One timed pass over a grid. */
+struct PassResult {
+    double seconds = 0.0; ///< best-of-repeats summed point wall time
+    double pointsPerSec = 0.0;
+    uint64_t frames = 0; ///< frames simulated per pass
+    obs::LatencyHistogram nsPerFrame; ///< per-point wall / frames
+    std::vector<engine::RunRecord> records;
+};
+
+/**
+ * Run every grid point sequentially (a timed point must not share
+ * the machine with sibling points), @p repeats times; keep the
+ * minimum wall time per point and the records of the first
+ * repetition.
+ */
+PassResult
+timedPass(const engine::SweepGrid& grid, int repeats)
+{
+    PassResult pass;
+    std::vector<double> best_ns(grid.size(), 0.0);
+    for (int rep = 0; rep < repeats; ++rep) {
+        // Every repetition pays the same cold-cache start: cached
+        // mode must time the (single) table build, not inherit a
+        // pre-warmed table from the previous repetition.
+        cost::CostTableCache::global().clear();
+        for (size_t i = 0; i < grid.size(); ++i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            auto record = engine::runGridPoint(grid.point(i));
+            const auto t1 = std::chrono::steady_clock::now();
+            const double ns =
+                std::chrono::duration<double, std::nano>(t1 - t0)
+                    .count();
+            if (rep == 0 || ns < best_ns[i])
+                best_ns[i] = ns;
+            if (rep == 0)
+                pass.records.push_back(std::move(record));
+        }
+    }
+    for (size_t i = 0; i < grid.size(); ++i) {
+        pass.seconds += best_ns[i] * 1e-9;
+        pass.frames += pass.records[i].totalFrames;
+        if (pass.records[i].totalFrames > 0)
+            pass.nsPerFrame.record(
+                best_ns[i] / double(pass.records[i].totalFrames));
+    }
+    pass.pointsPerSec =
+        pass.seconds > 0.0 ? double(grid.size()) / pass.seconds : 0.0;
+    return pass;
+}
+
+/** The exact --out CSV bytes of a record list (identity probe). */
+std::string
+csvBytes(const std::vector<engine::RunRecord>& records)
+{
+    std::ostringstream out;
+    {
+        engine::CsvSink sink(out);
+        for (const auto& r : records)
+            sink.write(r);
+        sink.close();
+    }
+    return out.str();
+}
+
+void
+writeJson(const std::string& path, size_t sweep_points,
+          double sweep_window_us, size_t frame_points,
+          double frame_window_us, const PassResult& uncached,
+          const PassResult* cached, const PassResult& frame,
+          const cost::CostTableCache::Stats& stats)
+{
+    std::ofstream out(path);
+    if (!out.is_open()) {
+        std::fprintf(stderr,
+                     "cannot open --bench-out file for writing: %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    char buf[256];
+    const auto num = [&](const char* fmt, auto... v) {
+        std::snprintf(buf, sizeof buf, fmt, v...);
+        out << buf;
+    };
+    out << "{\n";
+    out << "  \"bench\": \"perf_hotpath\",\n";
+    out << "  \"repeats\": " << kRepeats << ",\n";
+    out << "  \"sweep\": {\n";
+    out << "    \"grid_points\": " << sweep_points << ",\n";
+    num("    \"window_us\": %.1f,\n", sweep_window_us);
+    num("    \"uncached\": {\"seconds\": %.6f, "
+        "\"points_per_sec\": %.2f}",
+        uncached.seconds, uncached.pointsPerSec);
+    if (cached) {
+        num(",\n    \"cached\": {\"seconds\": %.6f, "
+            "\"points_per_sec\": %.2f},\n",
+            cached->seconds, cached->pointsPerSec);
+        num("    \"speedup\": %.3f,\n",
+            cached->seconds > 0.0 ? uncached.seconds / cached->seconds
+                                  : 0.0);
+        num("    \"cost_cache\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"evictions\": %llu, \"entries\": %llu}\n",
+            static_cast<unsigned long long>(stats.hits),
+            static_cast<unsigned long long>(stats.misses),
+            static_cast<unsigned long long>(stats.evictions),
+            static_cast<unsigned long long>(stats.entries));
+    } else {
+        out << "\n";
+    }
+    out << "  },\n";
+    out << "  \"frame\": {\n";
+    out << "    \"grid_points\": " << frame_points << ",\n";
+    num("    \"window_us\": %.1f,\n", frame_window_us);
+    out << "    \"frames\": " << frame.frames << ",\n";
+    num("    \"ns_per_frame\": {\"mean\": %.1f, \"p50\": %.1f, "
+        "\"p95\": %.1f}\n",
+        frame.nsPerFrame.mean(), frame.nsPerFrame.quantile(0.5),
+        frame.nsPerFrame.quantile(0.95));
+    out << "  }\n";
+    out << "}\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string bench_out = "BENCH_sweep.json";
+    const auto opts = bench::parseArgs(
+        argc, argv,
+        {{"--bench-out", &bench_out,
+          "perf baseline JSON path (default BENCH_sweep.json)"}});
+
+    const auto sys_preset = hw::SystemPreset::Sys4k1Os2Ws;
+    const auto sc_preset = workload::ScenarioPreset::VrGaming;
+
+    // Sweep section: the window is deliberately tiny — the section
+    // measures the per-point fixed cost the cache amortises, not
+    // steady-state simulation (the frame section covers that).
+    constexpr int sweep_n = 7;
+    constexpr double sweep_window_us = 1e3;
+    const auto sweep_grid = engine::paramSpaceGrid(
+        sys_preset, sc_preset, sweep_n, sweep_window_us);
+
+    // Frame section: several 60 fps periods — enough steady-state
+    // frames for a per-frame cost.
+    constexpr int frame_n = 3;
+    constexpr double frame_window_us = 2e5;
+    const auto frame_grid = engine::paramSpaceGrid(
+        sys_preset, sc_preset, frame_n, frame_window_us);
+
+    // The frame grid is the bench's protocol surface (CI sweeps it).
+    auto file_sink = bench::makeFileSink(opts);
+    if (!bench::runOrList(opts, frame_grid, file_sink.get()))
+        return 0;
+
+    std::printf("perf_hotpath: sweep %zu points @ %.0fus, frame %zu "
+                "points @ %.0fus, best of %d\n\n",
+                sweep_grid.size(), sweep_window_us, frame_grid.size(),
+                frame_window_us, kRepeats);
+
+    // Sweep section, uncached: the pre-cache behaviour (per-point
+    // lazy tables) regardless of the --no-cost-cache flag.
+    cost::CostTableCache::setEnabled(false);
+    const PassResult uncached = timedPass(sweep_grid, kRepeats);
+    std::printf("sweep uncached  %8.1f points/sec  (%.3fs)\n",
+                uncached.pointsPerSec, uncached.seconds);
+
+    PassResult cached;
+    cost::CostTableCache::Stats stats;
+    const bool measure_cached = opts.costCache;
+    if (measure_cached) {
+        cost::CostTableCache::setEnabled(true);
+        cached = timedPass(sweep_grid, kRepeats);
+        stats = cost::CostTableCache::global().stats();
+        std::printf("sweep cached    %8.1f points/sec  (%.3fs)\n",
+                    cached.pointsPerSec, cached.seconds);
+        std::printf("speedup: %.2fx   cache: %llu hits, %llu misses, "
+                    "%llu evictions\n",
+                    cached.seconds > 0.0
+                        ? uncached.seconds / cached.seconds
+                        : 0.0,
+                    static_cast<unsigned long long>(stats.hits),
+                    static_cast<unsigned long long>(stats.misses),
+                    static_cast<unsigned long long>(stats.evictions));
+
+        // The gate before any number leaves this process: the cache
+        // must not change a single output byte.
+        if (csvBytes(uncached.records) != csvBytes(cached.records)) {
+            std::fprintf(stderr, "FATAL: cached and uncached sweep "
+                                 "records differ\n");
+            return 1;
+        }
+        std::printf("records byte-identical between modes: yes\n");
+    } else {
+        std::printf("(--no-cost-cache: uncached measurement only)\n");
+    }
+
+    // Frame section, in the mode the flags selected.
+    cost::CostTableCache::setEnabled(opts.costCache);
+    const PassResult frame = timedPass(frame_grid, kRepeats);
+    std::printf("\nframe           %8llu frames, ns/frame mean %.0f  "
+                "p50 %.0f  p95 %.0f\n",
+                static_cast<unsigned long long>(frame.frames),
+                frame.nsPerFrame.mean(),
+                frame.nsPerFrame.quantile(0.5),
+                frame.nsPerFrame.quantile(0.95));
+
+    // Stream the protocol grid's records to --out like every other
+    // bench (identical rows to a subset/sharded run of the grid).
+    if (file_sink) {
+        for (const auto& r : frame.records)
+            file_sink->write(r);
+    }
+
+    writeJson(bench_out, sweep_grid.size(), sweep_window_us,
+              frame_grid.size(), frame_window_us, uncached,
+              measure_cached ? &cached : nullptr, frame, stats);
+    std::printf("wrote %s\n", bench_out.c_str());
+    return 0;
+}

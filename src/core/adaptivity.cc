@@ -95,6 +95,7 @@ ParamSearch::optimize(const BatchCostFn& cost, double a0,
     result.alpha = best_a;
     result.beta = best_b;
     result.cost = best_c;
+    result.simulated = result.evaluations;
     return result;
 }
 

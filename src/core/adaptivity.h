@@ -50,6 +50,15 @@ struct SearchResult {
     std::vector<SearchStep> trajectory;
     /** Every point evaluated (for search-cost accounting). */
     int evaluations = 0;
+    /**
+     * Candidate evaluations served from a transposition table —
+     * engine::ParamSearch fills these; the plain core search
+     * executes every evaluation, so memoHits stays 0 and
+     * simulated == evaluations.
+     */
+    int memoHits = 0;
+    /** Cost-function executions actually performed. */
+    int simulated = 0;
 };
 
 /** Cost callback: objective value at (alpha, beta); lower is better. */

@@ -17,12 +17,12 @@ namespace {
  */
 bool
 waitIsSafe(const sim::SchedulerContext& ctx, const sim::Request& req,
+           const cost::CostTable::LayerView& next_view,
            double best_next_lat, const DreamConfig& cfg)
 {
-    const models::Layer& next = req.path[req.nextLayer];
     double earliest_free = std::numeric_limits<double>::max();
     for (size_t a = 0; a < ctx.numAccels(); ++a) {
-        const double lat = ctx.costs->cost(next, a).latencyUs;
+        const double lat = next_view.cost(a).latencyUs;
         if (lat <= cfg.settleFactor * best_next_lat) {
             const auto& acc = ctx.accel(a);
             earliest_free = std::min(
@@ -76,6 +76,9 @@ DreamScheduler::reset(const sim::SchedulerContext& ctx)
 {
     (void)ctx;
     engine_.setParams(config_.alpha, config_.beta);
+    // Scenario/cost objects of the new run may reuse the previous
+    // run's addresses — drop the scratch caches explicitly.
+    engine_.clearScratch();
     // Fresh tuner state; a batch evaluator installed for simulation
     // studies (engine::attachBatchTuner) survives resets.
     tuner_.reset();
@@ -111,18 +114,17 @@ DreamScheduler::plan(const sim::SchedulerContext& ctx)
     double best_score = -std::numeric_limits<double>::max();
     for (const auto* req : ctx.ready) {
         const models::Layer& next = req->path[req->nextLayer];
-        double best_lat = std::numeric_limits<double>::max();
-        for (size_t a = 0; a < ctx.numAccels(); ++a)
-            best_lat = std::min(best_lat,
-                                ctx.costs->cost(next, a).latencyUs);
+        // One lookup per ready head; the precomputed aggregate IS
+        // the former min-over-accelerators loop.
+        const cost::CostTable::LayerView nv = ctx.costs->view(next);
+        const double best_lat = nv.agg().minLatencyUs;
         for (size_t a = 0; a < ctx.numAccels(); ++a) {
             if (!ctx.accel(a).idle())
                 continue;
-            const double lat_here =
-                ctx.costs->cost(next, a).latencyUs;
+            const double lat_here = nv.cost(a).latencyUs;
             if (config_.settleFactor > 0.0 &&
                 lat_here > config_.settleFactor * best_lat &&
-                waitIsSafe(ctx, *req, best_lat, config_)) {
+                waitIsSafe(ctx, *req, nv, best_lat, config_)) {
                 continue;
             }
             const ScoreBreakdown s = engine_.score(ctx, *req, a);

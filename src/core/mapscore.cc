@@ -1,6 +1,7 @@
 #include "core/mapscore.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "costmodel/layer_cost.h"
 #include "sim/context_switch.h"
@@ -49,6 +50,63 @@ MapScoreEngine::minToGoUs(const sim::SchedulerContext& ctx,
     return cache.suffixMin[req.nextLayer];
 }
 
+void
+MapScoreEngine::clearScratch()
+{
+    variantScratch_.clear();
+    scratchScenario_ = nullptr;
+    scratchCosts_ = nullptr;
+}
+
+const MapScoreEngine::VariantScratch&
+MapScoreEngine::variantScratch(const sim::SchedulerContext& ctx,
+                               workload::TaskId task) const
+{
+    if (scratchScenario_ != ctx.scenario ||
+        scratchCosts_ != ctx.costs ||
+        variantScratch_.size() != ctx.scenario->tasks.size()) {
+        variantScratch_.assign(ctx.scenario->tasks.size(),
+                               VariantScratch{});
+        scratchScenario_ = ctx.scenario;
+        scratchCosts_ = ctx.costs;
+    }
+    VariantScratch& s = variantScratch_[size_t(task)];
+    if (s.built)
+        return s;
+
+    const models::Model& model = ctx.scenario->tasks[task].model;
+    const auto& costs = *ctx.costs;
+    const size_t sp = model.supernetSwitchPoint;
+    s.switchPoint = sp;
+    s.headSuffixMinUs.assign(sp + 1, 0.0);
+    for (size_t i = sp; i-- > 0;) {
+        s.headSuffixMinUs[i] = costs.minLatencyUs(model.layers[i]) +
+                               s.headSuffixMinUs[i + 1];
+    }
+    s.bodyMinUs.assign(model.variants.size() + 1, 0.0);
+    for (size_t i = model.layers.size(); i-- > sp;)
+        s.bodyMinUs[0] +=
+            costs.minLatencyUs(model.layers[i]);
+    for (size_t v = 0; v < model.variants.size(); ++v) {
+        const auto& body = model.variants[v].bodyLayers;
+        for (size_t i = body.size(); i-- > 0;)
+            s.bodyMinUs[v + 1] += costs.minLatencyUs(body[i]);
+    }
+    s.built = true;
+    return s;
+}
+
+double
+MapScoreEngine::minToGoVariantUs(const sim::SchedulerContext& ctx,
+                                 const sim::Request& req,
+                                 size_t variant) const
+{
+    const VariantScratch& s = variantScratch(ctx, req.task);
+    assert(req.nextLayer <= s.switchPoint &&
+           "variant to-go past the switch point");
+    return s.headSuffixMinUs[req.nextLayer] + s.bodyMinUs[variant];
+}
+
 double
 MapScoreEngine::minToGoBestVariantUs(const sim::SchedulerContext& ctx,
                                      const sim::Request& req) const
@@ -57,10 +115,8 @@ MapScoreEngine::minToGoBestVariantUs(const sim::SchedulerContext& ctx,
     if (!model.isSupernet() || req.nextLayer > model.supernetSwitchPoint)
         return minToGoUs(ctx, req);
     double best = minToGoUs(ctx, req);
-    for (size_t v = 1; v <= model.variants.size(); ++v) {
-        best = std::min(best, minToGoUs(ctx, model.variantPath(v),
-                                        req.nextLayer));
-    }
+    for (size_t v = 1; v <= model.variants.size(); ++v)
+        best = std::min(best, minToGoVariantUs(ctx, req, v));
     return best;
 }
 
@@ -68,8 +124,10 @@ ScoreBreakdown
 MapScoreEngine::score(const sim::SchedulerContext& ctx,
                       const sim::Request& req, size_t accel) const
 {
-    const auto& costs = *ctx.costs;
     const models::Layer& next = req.path[req.nextLayer];
+    // One hash lookup serves every per-accelerator and aggregate
+    // query below (the former code paid a lookup per query).
+    const cost::CostTable::LayerView nv = ctx.costs->view(next);
 
     ScoreBreakdown s;
     s.toGoUs = toGoUs(ctx, req);
@@ -82,16 +140,16 @@ MapScoreEngine::score(const sim::SchedulerContext& ctx,
     s.urgency = s.toGoUs / std::max(s.slackUs, min_slack);
 
     // Line 8: latency preference = sum_i lat(next, i) / lat(next, acc).
-    const double lat_here = costs.cost(next, accel).latencyUs;
-    s.latPref = costs.sumLatencyUs(next) / lat_here;
+    const double lat_here = nv.cost(accel).latencyUs;
+    s.latPref = nv.agg().sumLatencyUs / lat_here;
 
     // Line 9: starvation = Tqueue / mean_i lat(next, i).
     const double t_queue = std::max(0.0, ctx.nowUs - req.lastEventUs);
-    s.starvation = t_queue / costs.avgLatencyUs(next);
+    s.starvation = t_queue / nv.agg().avgLatencyUs;
 
     // Line 10: context-switch cost = CswitchEnergy / EstEnergy.
     const auto& acc_state = ctx.accel(accel);
-    const double e_here = costs.cost(next, accel).energyMj;
+    const double e_here = nv.cost(accel).energyMj;
     const sim::SwitchTraffic cs = sim::switchTraffic(acc_state, req);
     if (cs.any()) {
         s.costSwitch = cost::contextSwitchEnergyMj(cs.flushBytes,
@@ -100,7 +158,7 @@ MapScoreEngine::score(const sim::SchedulerContext& ctx,
     }
 
     // Lines 11-13: energy preference minus switch cost.
-    s.energyPref = costs.sumEnergyMj(next) / e_here;
+    s.energyPref = nv.agg().sumEnergyMj / e_here;
     s.energy = s.energyPref - s.costSwitch;
 
     // Lines 14-15.

@@ -16,6 +16,9 @@
 #ifndef DREAM_CORE_MAPSCORE_H
 #define DREAM_CORE_MAPSCORE_H
 
+#include <vector>
+
+#include "costmodel/cost_table.h"
 #include "sim/scheduler.h"
 
 namespace dream {
@@ -82,13 +85,58 @@ public:
     double minToGoBestVariantUs(const sim::SchedulerContext& ctx,
                                 const sim::Request& req) const;
 
+    /**
+     * minToGoUs() of the request's model's variantPath(@p variant)
+     * from the request's next layer. Only valid at or before the
+     * switch point (the callers' precondition — past it the path is
+     * fixed). Served from a per-task scratch cache of suffix-min
+     * sums, so no per-call path materialisation: the former
+     * model.variantPath() allocation in the drop/switch hot loops.
+     */
+    double minToGoVariantUs(const sim::SchedulerContext& ctx,
+                            const sim::Request& req,
+                            size_t variant) const;
+
     /** Full Algorithm 1 evaluation for (request, accelerator). */
     ScoreBreakdown score(const sim::SchedulerContext& ctx,
                          const sim::Request& req, size_t accel) const;
 
+    /**
+     * Drop the per-run scratch caches (fresh run — scenario/cost
+     * objects may be reused at the same addresses across runs, so
+     * DreamScheduler::reset clears explicitly instead of trusting
+     * pointer identity alone).
+     */
+    void clearScratch();
+
 private:
+    /**
+     * Per-task Supernet to-go scratch: suffix-min sums over the
+     * shared head (model.layers[i .. switchPoint)) plus each
+     * variant's body total, so minToGoVariantUs is two array reads.
+     * Accumulation is right-associated like the per-request suffix
+     * caches (sim/cost_cache.cc).
+     */
+    struct VariantScratch {
+        bool built = false;
+        size_t switchPoint = 0;
+        /** [i] = sum of min-latencies of layers[i .. switchPoint). */
+        std::vector<double> headSuffixMinUs;
+        /** [v] = min-latency total of variantPath(v)'s body. */
+        std::vector<double> bodyMinUs;
+    };
+
+    const VariantScratch&
+    variantScratch(const sim::SchedulerContext& ctx,
+                   workload::TaskId task) const;
+
     double alpha_;
     double beta_;
+    /** Scratch is per-scheduler-instance state; one simulation
+     *  thread owns a scheduler, so no synchronisation. */
+    mutable std::vector<VariantScratch> variantScratch_;
+    mutable const void* scratchScenario_ = nullptr;
+    mutable const void* scratchCosts_ = nullptr;
 };
 
 } // namespace core

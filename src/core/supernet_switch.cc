@@ -44,13 +44,15 @@ SupernetSwitchEngine::chooseVariant(const sim::SchedulerContext& ctx,
 
     // Variants are ordered heaviest (0 == Original) to lightest.
     // Pick the heaviest one whose optimistic remaining time fits the
-    // load-discounted budget; fall back to the lightest.
+    // load-discounted budget; fall back to the lightest. The scratch-
+    // cached to-go replaces the former per-variant path
+    // materialisation (a vector<Layer> allocation per candidate per
+    // scheduling event).
     const int num_variants = int(model.variants.size()) + 1;
     int chosen = num_variants - 1;
     for (int v = 0; v < num_variants; ++v) {
-        const auto path = model.variantPath(size_t(v));
         const double min_to_go =
-            scores.minToGoUs(ctx, path, req.nextLayer);
+            scores.minToGoVariantUs(ctx, req, size_t(v));
         if (min_to_go <= budget) {
             chosen = v;
             break;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <tuple>
 
 namespace dream {
 namespace cost {
@@ -25,6 +27,15 @@ LayerKeyHash::operator()(const LayerKey& k) const
     return h;
 }
 
+bool
+operator<(const LayerKey& a, const LayerKey& b)
+{
+    return std::tie(a.kind, a.inH, a.inW, a.inC, a.outC, a.kH, a.kW,
+                    a.stride, a.groups, a.repeat) <
+           std::tie(b.kind, b.inH, b.inW, b.inC, b.outC, b.kH, b.kW,
+                    b.stride, b.groups, b.repeat);
+}
+
 LayerKey
 makeKey(const models::Layer& layer)
 {
@@ -46,6 +57,10 @@ CostTable::entryFor(const models::Layer& layer) const
     auto it = cache_.find(key);
     if (it != cache_.end())
         return it->second;
+    if (frozen_)
+        throw std::logic_error(
+            "layer missing from frozen cost table (model not "
+            "pre-warmed via addModel before freeze)");
 
     Entry e;
     e.byAccel.resize(system_.size());
@@ -55,6 +70,23 @@ CostTable::entryFor(const models::Layer& layer) const
         for (uint32_t s = 1; s <= acc.numSlices; ++s)
             e.byAccel[a][s - 1] = estimateLayer(layer, acc, s);
     }
+    // Aggregates over the full-slice column, accumulated in ascending
+    // accelerator order — the exact order of the former per-call
+    // loops, so the precomputed values are bit-identical to them.
+    e.agg.minLatencyUs = e.byAccel[0].back().latencyUs;
+    e.agg.maxEnergyMj = e.byAccel[0].back().energyMj;
+    for (size_t a = 0; a < system_.size(); ++a) {
+        const LayerCost& full = e.byAccel[a].back();
+        e.agg.sumLatencyUs += full.latencyUs;
+        e.agg.sumEnergyMj += full.energyMj;
+        if (a > 0) {
+            e.agg.minLatencyUs =
+                std::min(e.agg.minLatencyUs, full.latencyUs);
+            e.agg.maxEnergyMj =
+                std::max(e.agg.maxEnergyMj, full.energyMj);
+        }
+    }
+    e.agg.avgLatencyUs = e.agg.sumLatencyUs / double(system_.size());
     return cache_.emplace(key, std::move(e)).first->second;
 }
 
@@ -87,43 +119,31 @@ CostTable::cost(const models::Layer& layer, size_t acc,
 double
 CostTable::avgLatencyUs(const models::Layer& layer) const
 {
-    return sumLatencyUs(layer) / double(system_.size());
+    return entryFor(layer).agg.avgLatencyUs;
 }
 
 double
 CostTable::sumLatencyUs(const models::Layer& layer) const
 {
-    double sum = 0.0;
-    for (size_t a = 0; a < system_.size(); ++a)
-        sum += cost(layer, a).latencyUs;
-    return sum;
+    return entryFor(layer).agg.sumLatencyUs;
 }
 
 double
 CostTable::minLatencyUs(const models::Layer& layer) const
 {
-    double best = cost(layer, 0).latencyUs;
-    for (size_t a = 1; a < system_.size(); ++a)
-        best = std::min(best, cost(layer, a).latencyUs);
-    return best;
+    return entryFor(layer).agg.minLatencyUs;
 }
 
 double
 CostTable::sumEnergyMj(const models::Layer& layer) const
 {
-    double sum = 0.0;
-    for (size_t a = 0; a < system_.size(); ++a)
-        sum += cost(layer, a).energyMj;
-    return sum;
+    return entryFor(layer).agg.sumEnergyMj;
 }
 
 double
 CostTable::maxEnergyMj(const models::Layer& layer) const
 {
-    double worst = cost(layer, 0).energyMj;
-    for (size_t a = 1; a < system_.size(); ++a)
-        worst = std::max(worst, cost(layer, a).energyMj);
-    return worst;
+    return entryFor(layer).agg.maxEnergyMj;
 }
 
 } // namespace cost

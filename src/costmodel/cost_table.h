@@ -8,6 +8,18 @@
  * artefact: it memoises estimateLayer() for every (layer shape,
  * accelerator, slice allocation) and offers the aggregate queries the
  * scoring algorithms need (average / sum / min across accelerators).
+ *
+ * Every entry also carries its cross-accelerator aggregates
+ * (LayerAgg), computed once when the entry is built, and view()
+ * exposes an entry through a single hash lookup — the scoring hot
+ * path (MapScore line 8/9/13 needs per-accelerator AND aggregate
+ * costs of the same layer) pays one lookup per layer instead of one
+ * per query.
+ *
+ * freeze() turns a pre-warmed table immutable: further lookups of
+ * unknown layers throw instead of lazily extending the cache. A
+ * frozen table is safe to share across threads (concurrent const
+ * lookups never mutate), which is what CostTableCache hands out.
  */
 
 #ifndef DREAM_COSTMODEL_COST_TABLE_H
@@ -31,6 +43,9 @@ struct LayerKey {
     bool operator==(const LayerKey&) const = default;
 };
 
+/** Total order over LayerKey (canonical model-set serialisation). */
+bool operator<(const LayerKey& a, const LayerKey& b);
+
 /** FNV-1a style hash for LayerKey. */
 struct LayerKeyHash {
     size_t operator()(const LayerKey& k) const;
@@ -40,11 +55,27 @@ struct LayerKeyHash {
 LayerKey makeKey(const models::Layer& layer);
 
 /**
+ * Cross-accelerator aggregates of one layer's full-slice costs,
+ * precomputed when the layer's entry is built. Values are computed
+ * with the exact accumulation order of the original per-call loops
+ * (ascending accelerator index), so switching callers to the
+ * precomputed fields is bit-identical.
+ */
+struct LayerAgg {
+    double avgLatencyUs = 0.0;
+    double sumLatencyUs = 0.0;
+    double minLatencyUs = 0.0;
+    double sumEnergyMj = 0.0;
+    double maxEnergyMj = 0.0;
+};
+
+/**
  * Latency/energy lookup for one target system.
  *
  * Lookups are lazy: the first query for a given layer computes and
  * caches the full (accelerator x slice) cost matrix. addModel() can
- * pre-warm the cache offline, matching the paper's flow.
+ * pre-warm the cache offline, matching the paper's flow; freeze()
+ * then locks the table for thread-safe sharing.
  */
 class CostTable {
 public:
@@ -53,10 +84,22 @@ public:
     /** Pre-compute costs for every layer of a model (incl. variants). */
     void addModel(const models::Model& model);
 
+    /**
+     * Lock the table: lookups of layers not already cached throw
+     * std::logic_error instead of lazily computing. After freeze(),
+     * const lookups never mutate, so the table may be shared across
+     * threads without synchronisation.
+     */
+    void freeze() { frozen_ = true; }
+    /** True once freeze() was called. */
+    bool frozen() const { return frozen_; }
+
     /** Number of accelerators in the target system. */
     size_t numAccelerators() const { return system_.size(); }
     /** The target system. */
     const hw::SystemConfig& system() const { return system_; }
+    /** Number of distinct layer shapes cached. */
+    size_t numLayers() const { return cache_.size(); }
 
     /** Cost of @p layer on accelerator @p acc with all slices. */
     const LayerCost& cost(const models::Layer& layer, size_t acc) const;
@@ -79,11 +122,47 @@ private:
     /** Per-layer cost matrix: [accelerator][slices-1]. */
     struct Entry {
         std::vector<std::vector<LayerCost>> byAccel;
+        LayerAgg agg;
     };
 
+public:
+    /**
+     * One layer's entry behind a single hash lookup: per-accelerator
+     * costs plus the precomputed aggregates. Valid as long as the
+     * table lives (entries are never erased).
+     */
+    class LayerView {
+    public:
+        /** Cost on accelerator @p acc with all slices. */
+        const LayerCost& cost(size_t acc) const
+        {
+            return entry_->byAccel[acc].back();
+        }
+        /** Cost on accelerator @p acc with @p slices slices. */
+        const LayerCost& cost(size_t acc, uint32_t slices) const
+        {
+            return entry_->byAccel[acc][slices - 1];
+        }
+        /** The precomputed cross-accelerator aggregates. */
+        const LayerAgg& agg() const { return entry_->agg; }
+
+    private:
+        friend class CostTable;
+        explicit LayerView(const Entry* entry) : entry_(entry) {}
+        const Entry* entry_;
+    };
+
+    /** The entry for @p layer (computed now if absent and unfrozen). */
+    LayerView view(const models::Layer& layer) const
+    {
+        return LayerView(&entryFor(layer));
+    }
+
+private:
     const Entry& entryFor(const models::Layer& layer) const;
 
     hw::SystemConfig system_;
+    bool frozen_ = false;
     mutable std::unordered_map<LayerKey, Entry, LayerKeyHash> cache_;
 };
 

@@ -14,7 +14,7 @@
 #include <string>
 #include <utility>
 
-#include "costmodel/cost_table.h"
+#include "costmodel/cost_table_cache.h"
 #include "engine/worker_pool.h"
 #include "metrics/uxcost.h"
 #include "obs/telemetry.h"
@@ -268,12 +268,17 @@ RunRecord
 runGridPoint(const SweepGrid::Point& point, const EngineOptions& opts,
              obs::MetricsRegistry* metrics_out)
 {
-    // Materialise everything locally: workers share nothing mutable.
+    // Materialise everything locally: workers share nothing MUTABLE.
+    // The cost table is the exception that proves the rule — a frozen
+    // immutable table shared through the process-wide cache, so a
+    // sweep builds each distinct (system, model set) table once
+    // instead of once per point (see cost_table_cache.h for the
+    // determinism argument; --no-cost-cache restores private lazy
+    // tables).
     const workload::Scenario scenario = (*point.makeScenario)();
     const hw::SystemConfig system = (*point.makeSystem)();
-    cost::CostTable costs(system);
-    for (const auto& t : scenario.tasks)
-        costs.addModel(t.model);
+    const std::shared_ptr<const cost::CostTable> costs =
+        cost::acquireCostTable(system, scenario, metrics_out);
 
     auto sched = (*point.makeScheduler)(point.params);
     assert(sched && "scheduler factory returned nullptr");
@@ -314,7 +319,7 @@ runGridPoint(const SweepGrid::Point& point, const EngineOptions& opts,
     if (telemetry.trace || telemetry.metrics)
         cfg.telemetry = &telemetry;
 
-    sim::Simulator simulator(system, scenario, costs, cfg);
+    sim::Simulator simulator(system, scenario, *costs, cfg);
     const sim::RunStats stats = simulator.run(*sched);
     if (!opts.traceDir.empty())
         recordTrace(opts.traceDir, point, opts.traceIndexBase,

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Memoized (alpha, beta) search on the sweep engine — the
+ * transposition-table upgrade of core::ParamSearch (the ROADMAP's
+ * "memoized search" item, the AlphaBetaSearch + Dictionary idiom).
+ *
+ * The shrinking-radius search of Section 3.6 re-visits parameter
+ * points constantly: clamped candidates collapse onto bounds,
+ * interpolated moves land on already-probed pairs, and consecutive
+ * searches over one workload (Figure 10's case (c) -> (d)) re-walk
+ * the same region. engine::ParamSearch wraps the core search with a
+ * transposition table keyed by the exact (alpha, beta) bit patterns,
+ * scoped to a canonical context key over (system, scenario,
+ * objective, seed, window, search config) — a simulated point is
+ * never re-run, and the table survives across optimize() calls on
+ * one searcher.
+ *
+ * Determinism: the memo only short-circuits re-evaluations of a
+ * deterministic evaluator at bit-identical points, so optimize()
+ * returns the exact SearchResult (trajectory included) the
+ * un-memoized batched search returns — asserted in
+ * tests/test_param_search.cc.
+ *
+ * The multi-start overload is the iterative-deepening/branch-and-
+ * bound layer: all starts are probed in one batch first (depth-0
+ * pass), explored best-first, and a start whose probe cost already
+ * exceeds the incumbent full-search optimum is pruned against that
+ * UXCost bound (a heuristic dominance cut: descending from a
+ * clearly-dominated start into the same basin the incumbent already
+ * searched is wasted simulation; the memo makes the occasional
+ * shared descent free anyway).
+ */
+
+#ifndef DREAM_ENGINE_PARAM_SEARCH_H
+#define DREAM_ENGINE_PARAM_SEARCH_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/adaptivity.h"
+#include "engine/param_eval.h"
+#include "engine/worker_pool.h"
+
+namespace dream {
+namespace engine {
+
+/** Memoized, optionally multi-start (alpha, beta) searcher. */
+class ParamSearch {
+public:
+    struct Options {
+        double initialRadius = 0.5;
+        double radiusThreshold = 0.05;
+        double paramMin = 0.0;
+        double paramMax = 2.0;
+        metrics::Objective objective = metrics::Objective::UxCost;
+        uint64_t seed = kSearchSeed;
+        double windowUs = kSearchWindowUs;
+    };
+
+    /**
+     * Search over fixed-parameter DREAM simulations of
+     * (system, scenario), batching candidate evaluations on @p pool
+     * (captured by reference, like makeBatchEvaluator).
+     */
+    ParamSearch(const hw::SystemConfig& system,
+                const workload::Scenario& scenario,
+                const WorkerPool& pool, Options opts);
+    ParamSearch(const hw::SystemConfig& system,
+                const workload::Scenario& scenario,
+                const WorkerPool& pool);
+
+    /**
+     * Search over an explicit batched cost function (tests,
+     * non-simulation objectives). The context key is 0.
+     */
+    ParamSearch(core::BatchCostFn evaluate, Options opts);
+    explicit ParamSearch(core::BatchCostFn evaluate);
+
+    /**
+     * Run the memoized search from (a0, b0). Identical SearchResult
+     * to core::ParamSearch::optimize with the same evaluator;
+     * memoHits/simulated report this call's transposition traffic.
+     */
+    core::SearchResult optimize(double a0, double b0);
+
+    /**
+     * Branch-and-bound multi-start: probe every start in one batch,
+     * explore in ascending probe-cost order, prune starts whose
+     * probe cost exceeds the incumbent optimum. Returns the best
+     * full-search result (ties: earliest start in @p starts order).
+     */
+    core::SearchResult
+    optimize(const std::vector<std::pair<double, double>>& starts);
+
+    /** Cost-function executions across this searcher's lifetime. */
+    uint64_t simulations() const { return simulations_; }
+    /** Evaluations served from the transposition table. */
+    uint64_t transpositionHits() const { return hits_; }
+    /** Distinct (alpha, beta) points held. */
+    size_t tableSize() const { return table_.size(); }
+    /** Starts cut by the incumbent bound. */
+    uint64_t prunedStarts() const { return pruned_; }
+    /**
+     * Canonical hash of (system fingerprint, scenario structure,
+     * objective, seed, window, search config) — the scope of this
+     * table. Two searchers with equal context keys may share memo
+     * state; 0 for the explicit-cost-function constructor.
+     */
+    uint64_t contextKey() const { return contextKey_; }
+
+private:
+    /** Exact transposition key: the candidate's clamped bits. */
+    struct PointKey {
+        uint64_t alphaBits = 0;
+        uint64_t betaBits = 0;
+        bool operator==(const PointKey&) const = default;
+    };
+    struct PointKeyHash {
+        size_t operator()(const PointKey& k) const;
+    };
+
+    core::BatchCostFn memoizedBatch();
+    core::SearchResult runFrom(double a0, double b0);
+
+    Options opts_;
+    core::BatchCostFn evaluate_;
+    std::unordered_map<PointKey, double, PointKeyHash> table_;
+    uint64_t contextKey_ = 0;
+    uint64_t simulations_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t pruned_ = 0;
+};
+
+} // namespace engine
+} // namespace dream
+
+#endif // DREAM_ENGINE_PARAM_SEARCH_H

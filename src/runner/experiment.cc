@@ -1,5 +1,6 @@
 #include "runner/experiment.h"
 
+#include "costmodel/cost_table_cache.h"
 #include "sched/fcfs.h"
 #include "sched/planaria.h"
 #include "sched/static_fcfs.h"
@@ -84,14 +85,18 @@ runOnce(const hw::SystemConfig& system,
         const workload::Scenario& scenario, sim::Scheduler& sched,
         double window_us, uint64_t seed)
 {
-    cost::CostTable costs(system);
-    for (const auto& t : scenario.tasks)
-        costs.addModel(t.model);
+    // Route through the shared cache: the multi-seed / multi-
+    // scheduler loops above this call (runSeeds, bench sweeps,
+    // ParamSearch evaluations) repeat one (system, model set) pair
+    // many times — each repeat now reuses one frozen table instead
+    // of rebuilding it.
+    const std::shared_ptr<const cost::CostTable> costs =
+        cost::acquireCostTable(system, scenario);
 
     sim::SimConfig cfg;
     cfg.windowUs = window_us;
     cfg.seed = seed;
-    sim::Simulator simulator(system, scenario, costs, cfg);
+    sim::Simulator simulator(system, scenario, *costs, cfg);
 
     RunResult r;
     r.stats = simulator.run(sched);

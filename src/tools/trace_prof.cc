@@ -511,5 +511,122 @@ profileReport(const TraceProfile& profile)
     return out.str();
 }
 
+double
+MetricsProfile::counter(const std::string& name, double fallback) const
+{
+    for (const auto& kv : counters) {
+        if (kv.first == name)
+            return kv.second;
+    }
+    return fallback;
+}
+
+bool
+MetricsProfile::has(const std::string& name) const
+{
+    for (const auto& kv : counters) {
+        if (kv.first == name)
+            return true;
+    }
+    return false;
+}
+
+MetricsProfile
+readMetricsJson(std::istream& in, const std::string& name)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    EventParser p(text, name);
+    MetricsProfile m;
+
+    // One object member whose value is a flat object ("counters",
+    // "gauges") or an object of objects ("histograms"); only counter
+    // values are kept.
+    const auto parse_leaf = [&](const std::string& section,
+                                const std::string& key) {
+        const std::string tok = p.parseScalar();
+        if (section == "counters")
+            m.counters.push_back(
+                {key, parseNumber(tok, name, key, m.counters.size())});
+    };
+
+    p.expect('{');
+    if (!p.consume('}')) {
+        for (;;) {
+            const std::string section = p.parseString();
+            p.expect(':');
+            p.expect('{');
+            if (!p.consume('}')) {
+                for (;;) {
+                    const std::string key = p.parseString();
+                    p.expect(':');
+                    if (p.peek() == '{') {
+                        // Histogram summary object: parse past it.
+                        p.expect('{');
+                        if (!p.consume('}'))
+                            for (;;) {
+                                p.parseString();
+                                p.expect(':');
+                                p.parseScalar();
+                                if (p.consume('}'))
+                                    break;
+                                p.expect(',');
+                            }
+                    } else {
+                        parse_leaf(section, key);
+                    }
+                    if (p.consume('}'))
+                        break;
+                    p.expect(',');
+                }
+            }
+            if (p.consume('}'))
+                break;
+            p.expect(',');
+        }
+    }
+    if (!p.atEnd())
+        p.fail("trailing data after metrics object");
+    return m;
+}
+
+MetricsProfile
+readMetricsJson(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        throw std::runtime_error("cannot open metrics file: " + path);
+    return readMetricsJson(in, path);
+}
+
+std::string
+cacheReport(const MetricsProfile& metrics)
+{
+    std::ostringstream out;
+    if (!metrics.has("costcache/hit") &&
+        !metrics.has("costcache/miss")) {
+        out << "no cost-cache counters in this dump (they are "
+               "volatile: record with --metrics-full, the canonical "
+               "--metrics output excludes them)\n";
+        return out.str();
+    }
+    const double hits = metrics.counter("costcache/hit");
+    const double misses = metrics.counter("costcache/miss");
+    const double evictions = metrics.counter("costcache/evict");
+    const double acquisitions = hits + misses;
+    runner::Table t({"cost-table cache", "count"});
+    t.addRow({"acquisitions", runner::fmt(acquisitions, 0)});
+    t.addRow({"hits", runner::fmt(hits, 0)});
+    t.addRow({"misses (tables built)", runner::fmt(misses, 0)});
+    t.addRow({"evictions", runner::fmt(evictions, 0)});
+    t.addRow({"hit rate",
+              acquisitions > 0.0
+                  ? runner::fmtPct(hits / acquisitions, 1)
+                  : std::string("n/a")});
+    out << t.str();
+    return out.str();
+}
+
 } // namespace tools
 } // namespace dream

@@ -111,6 +111,44 @@ TraceProfile readTraceEventJson(const std::string& path);
  */
 std::string profileReport(const TraceProfile& profile);
 
+/**
+ * Parsed counters section of a metrics JSON dump (`bench --metrics
+ * F` / `--metrics-full F`, obs::MetricsRegistry::writeJson). Gauges
+ * and histograms are parsed past but not kept: the profiler's
+ * consumer — the cost-cache efficiency table — only needs counters.
+ */
+struct MetricsProfile {
+    /** (name, value) in file order. */
+    std::vector<std::pair<std::string, double>> counters;
+
+    /** Counter value, or @p fallback when absent. */
+    double counter(const std::string& name,
+                   double fallback = 0.0) const;
+    bool has(const std::string& name) const;
+};
+
+/**
+ * Parse one metrics JSON dump: a top-level object of "counters" /
+ * "gauges" / "histograms" sections. @p name labels errors (the file
+ * path).
+ *
+ * @throws std::runtime_error on malformed input.
+ */
+MetricsProfile readMetricsJson(std::istream& in,
+                               const std::string& name = "<metrics>");
+
+/** readMetricsJson from a file; errors name @p path. */
+MetricsProfile readMetricsJson(const std::string& path);
+
+/**
+ * Render the cost-table cache efficiency table from a metrics dump:
+ * acquisitions, hits, misses (= distinct tables built), evictions
+ * and the hit rate. The costcache counters are volatile — recorded
+ * by `--metrics-full`, excluded from canonical `--metrics` output —
+ * so a dump without them yields an explanatory line instead.
+ */
+std::string cacheReport(const MetricsProfile& metrics);
+
 } // namespace tools
 } // namespace dream
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/adaptivity.h"
+#include "costmodel/cost_table_cache.h"
 #include "engine/engine.h"
 #include "engine/param_eval.h"
 #include "engine/result_sink.h"
@@ -268,6 +269,31 @@ TEST(Engine, ParallelRunsAreByteIdenticalToSerial)
         EXPECT_EQ(serial[i].energyMj, parallel[i].energyMj) << i;
         EXPECT_EQ(serial[i].totalFrames, parallel[i].totalFrames) << i;
     }
+}
+
+TEST(Engine, CostCacheOnAndOffAreByteIdentical)
+{
+    // The acceptance contract of the shared cost-table cache: it may
+    // only change throughput, never a single output byte, at any
+    // --jobs value.
+    const auto grid = smallGrid();
+    const bool saved = cost::CostTableCache::enabled();
+
+    std::ostringstream on1, on4, off1;
+    {
+        engine::CsvSink sink_on1(on1), sink_on4(on4), sink_off1(off1);
+        cost::CostTableCache::setEnabled(true);
+        cost::CostTableCache::global().clear();
+        engine::Engine({1}).run(grid, {&sink_on1});
+        engine::Engine({4}).run(grid, {&sink_on4});
+        cost::CostTableCache::setEnabled(false);
+        engine::Engine({1}).run(grid, {&sink_off1});
+    }
+    cost::CostTableCache::setEnabled(saved);
+    cost::CostTableCache::global().clear();
+
+    EXPECT_EQ(on1.str(), off1.str());
+    EXPECT_EQ(on1.str(), on4.str());
 }
 
 TEST(Engine, ParamGridMatchesSingleEvaluator)

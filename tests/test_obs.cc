@@ -20,6 +20,7 @@
 #include "engine/engine.h"
 #include "engine/worker_pool.h"
 #include "costmodel/cost_table.h"
+#include "costmodel/cost_table_cache.h"
 #include "hw/system.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -271,6 +272,69 @@ TEST(TraceProf, RejectsMalformedEvents)
     reject("[] trailing");
 }
 
+// ------------------------------------------- metrics-dump reader
+
+TEST(MetricsProf, RoundTripsARegistryDumpIntoTheCacheReport)
+{
+    obs::MetricsRegistry m;
+    m.count("costcache/hit", 9);
+    m.count("costcache/miss", 3);
+    m.count("costcache/evict", 1);
+    m.markVolatile("costcache/hit");
+    m.markVolatile("costcache/miss");
+    m.markVolatile("costcache/evict");
+    m.count("frames/total", 42);
+    m.gaugeSet("busy", 0.5);
+    m.histogram("wall_ns").record(100.0);
+
+    std::ostringstream full;
+    m.writeJson(full, /*include_volatile=*/true);
+    std::istringstream in(full.str());
+    const auto profile = tools::readMetricsJson(in, "t");
+
+    EXPECT_TRUE(profile.has("costcache/hit"));
+    EXPECT_EQ(profile.counter("costcache/hit"), 9.0);
+    EXPECT_EQ(profile.counter("costcache/miss"), 3.0);
+    EXPECT_EQ(profile.counter("frames/total"), 42.0);
+    EXPECT_EQ(profile.counter("absent", -1.0), -1.0);
+
+    const auto report = tools::cacheReport(profile);
+    EXPECT_NE(report.find("hits"), std::string::npos);
+    EXPECT_NE(report.find("9"), std::string::npos);
+    EXPECT_NE(report.find("75.0%"), std::string::npos);
+}
+
+TEST(MetricsProf, CanonicalDumpWithoutCacheCountersExplainsItself)
+{
+    obs::MetricsRegistry m;
+    m.count("costcache/hit", 9);
+    m.markVolatile("costcache/hit");
+    m.count("frames/total", 42);
+
+    // The canonical dump excludes the volatile cache counters, so
+    // the report must say how to record them, not print zeros.
+    std::ostringstream canonical;
+    m.writeJson(canonical);
+    std::istringstream in(canonical.str());
+    const auto report = tools::cacheReport(tools::readMetricsJson(in));
+    EXPECT_NE(report.find("--metrics-full"), std::string::npos);
+    EXPECT_EQ(report.find("hit rate"), std::string::npos);
+}
+
+TEST(MetricsProf, RejectsMalformedDumps)
+{
+    const auto reject = [](const std::string& text) {
+        std::istringstream in(text);
+        EXPECT_THROW(tools::readMetricsJson(in, "t"),
+                     std::runtime_error)
+            << text;
+    };
+    reject("");
+    reject("[]");                      // not an object
+    reject("{\"counters\": 3}");       // section not an object
+    reject("{\"counters\": {}} junk"); // trailing data
+}
+
 // ------------------------------------------- simulator telemetry
 
 struct SimRun {
@@ -417,6 +481,40 @@ TEST(EngineTelemetry, MetricsDumpIsByteIdenticalAcrossJobs)
     m4.writeJson(s4);
     EXPECT_FALSE(m1.empty());
     EXPECT_EQ(s1.str(), s4.str());
+}
+
+TEST(EngineTelemetry, CostCacheCountersAreRecordedButVolatile)
+{
+    // Cache traffic depends on scheduling history (which worker
+    // misses first), so the counters must reach profilers through
+    // the full dump while staying out of the canonical one.
+    const bool saved = cost::CostTableCache::enabled();
+    cost::CostTableCache::setEnabled(true);
+    cost::CostTableCache::global().clear();
+
+    const auto grid = obsGrid();
+    obs::MetricsRegistry m;
+    engine::EngineOptions opts;
+    opts.jobs = 1;
+    opts.metrics = &m;
+    engine::Engine(opts).run(grid);
+
+    cost::CostTableCache::setEnabled(saved);
+    cost::CostTableCache::global().clear();
+
+    ASSERT_TRUE(m.counters().count("costcache/hit"));
+    ASSERT_TRUE(m.counters().count("costcache/miss"));
+    // One (system, model set) pair across the grid's four points:
+    // the first acquisition builds, the other three hit.
+    EXPECT_EQ(m.counters().at("costcache/miss"), 1u);
+    EXPECT_EQ(m.counters().at("costcache/hit"), 3u);
+
+    std::ostringstream canonical, full;
+    m.writeJson(canonical);
+    m.writeJson(full, /*include_volatile=*/true);
+    EXPECT_EQ(canonical.str().find("costcache/"), std::string::npos);
+    EXPECT_NE(full.str().find("costcache/hit"), std::string::npos);
+    EXPECT_NE(full.str().find("costcache/miss"), std::string::npos);
 }
 
 TEST(EngineTelemetry, WritesOneValidTraceFilePerPoint)

@@ -28,7 +28,8 @@ namespace {
 void
 printUsage(const char* prog)
 {
-    std::printf("usage: %s [--check] PATH [PATH ...]\n"
+    std::printf("usage: %s [--check] [--metrics FILE] "
+                "[PATH ...]\n"
                 "  PATH      a .trace.json file, or a directory "
                 "scanned for\n            *.trace.json (the layout "
                 "bench --trace-events DIR writes)\n"
@@ -36,6 +37,11 @@ printUsage(const char* prog)
                 "the event\n            shape and per-track "
                 "timestamp monotonicity, print one\n            OK "
                 "line per file; exit 1 on the first failure\n"
+                "  --metrics FILE\n"
+                "            a metrics JSON dump (bench "
+                "--metrics-full F); prints\n            the "
+                "cost-table cache efficiency table (hits, misses,\n"
+                "            evictions, hit rate)\n"
                 "without --check, prints per-accelerator utilization "
                 "and\nscheduler decision-latency tables for every "
                 "point\n",
@@ -84,10 +90,13 @@ main(int argc, char** argv)
 {
     bool check_only = false;
     std::vector<std::string> paths;
+    std::vector<std::string> metrics_paths;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--check") {
             check_only = true;
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            metrics_paths.push_back(argv[++i]);
         } else if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
             return 0;
@@ -100,8 +109,8 @@ main(int argc, char** argv)
             paths.push_back(arg);
         }
     }
-    if (paths.empty()) {
-        std::fprintf(stderr, "no trace files given\n");
+    if (paths.empty() && metrics_paths.empty()) {
+        std::fprintf(stderr, "no trace or metrics files given\n");
         printUsage(argv[0]);
         return 2;
     }
@@ -131,6 +140,26 @@ main(int argc, char** argv)
             std::printf("--- %s ---\n", file.c_str());
             std::fputs(tools::profileReport(profile).c_str(),
                        stdout);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "dream_prof: %s\n", e.what());
+            return 1;
+        }
+    }
+
+    for (const auto& file : metrics_paths) {
+        try {
+            const tools::MetricsProfile metrics =
+                tools::readMetricsJson(file);
+            if (check_only) {
+                std::printf("OK %s (%zu counters)\n", file.c_str(),
+                            metrics.counters.size());
+                continue;
+            }
+            if (!first)
+                std::printf("\n");
+            first = false;
+            std::printf("--- %s ---\n", file.c_str());
+            std::fputs(tools::cacheReport(metrics).c_str(), stdout);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "dream_prof: %s\n", e.what());
             return 1;
