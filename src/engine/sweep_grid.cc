@@ -118,6 +118,29 @@ SweepGrid::addGeneratedScenarios(const workload::ScenarioGenSpec& spec,
 }
 
 SweepGrid&
+SweepGrid::addHardScenarios(const workload::HardScenarioSuite& suite)
+{
+    // Entries already passed loadHardScenarioSuite validation; each
+    // becomes one scenario-axis value named after the entry, its
+    // mix re-generated from (spec, genSeed) on demand. The suite's
+    // system, window and seeds are deliberately NOT applied — the
+    // caller decides those axes (bench/hard_scenarios mirrors the
+    // suite exactly; a hunt may re-evaluate entries elsewhere).
+    for (const auto& entry : suite.entries) {
+        const workload::ScenarioGenSpec spec = entry.spec;
+        const uint64_t seed = entry.genSeed;
+        const std::string name = entry.name;
+        addScenario(name, [spec, seed, name]() {
+            const workload::ScenarioGenerator gen(spec);
+            workload::Scenario s = gen.generate(seed);
+            s.name = name;
+            return s;
+        });
+    }
+    return *this;
+}
+
+SweepGrid&
 SweepGrid::addSystem(hw::SystemPreset preset)
 {
     return addSystem(hw::toString(preset),

@@ -25,6 +25,7 @@
 #include "workload/replay_source.h"
 #include "workload/scenario.h"
 #include "workload/scenario_gen.h"
+#include "workload/scenario_suite.h"
 
 namespace dream {
 namespace engine {
@@ -136,6 +137,14 @@ public:
      */
     SweepGrid& addGeneratedScenarios(const workload::ScenarioGenSpec& spec,
                                      int count, uint64_t seed0 = 1);
+    /**
+     * Add every entry of a hard-scenarios suite as a scenario-axis
+     * value (named after the entry, regenerated from its
+     * (spec, genSeed) pair). Only the scenario axis is touched: the
+     * caller applies the suite's system, window and seeds — see
+     * bench/hard_scenarios for the canonical mirror-the-suite setup.
+     */
+    SweepGrid& addHardScenarios(const workload::HardScenarioSuite& suite);
     /**
      * Add one recorded trace as a scenario-axis value: every grid
      * point of this scenario replays the trace's exact arrival/

@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
+#include "costmodel/cost_table_cache.h"
+#include "hw/system.h"
 #include "models/zoo.h"
 #include "workload/rng.h"
 
@@ -63,6 +66,22 @@ standardRates(double lo, double hi)
     return out;
 }
 
+/** The system the target-load bias is costed on. */
+hw::SystemConfig
+loadSystemFor(const ScenarioGenSpec& spec)
+{
+    if (spec.loadSystem.empty())
+        return hw::makeSystem(hw::SystemPreset::Sys4k1Ws2Os);
+    for (const auto preset : hw::allSystemPresets()) {
+        if (hw::toString(preset) == spec.loadSystem)
+            return hw::makeSystem(preset);
+    }
+    // validateGenSpec rejects unknown names before a generator is
+    // built; reaching this is a caller bug.
+    assert(false && "unknown loadSystem preset name");
+    std::abort();
+}
+
 } // anonymous namespace
 
 ScenarioGenerator::ScenarioGenerator(ScenarioGenSpec spec)
@@ -72,6 +91,37 @@ ScenarioGenerator::ScenarioGenerator(ScenarioGenSpec spec)
     assert(spec_.minFps > 0.0 && spec_.minFps <= spec_.maxFps);
     if (spec_.pool.empty())
         spec_.pool = zooPool();
+
+    if (spec_.supernetProb >= 0.0) {
+        for (size_t i = 0; i < spec_.pool.size(); ++i) {
+            (spec_.pool[i].isSupernet() ? supernetPool_ : plainPool_)
+                .push_back(i);
+        }
+    }
+
+    if (spec_.targetLoad > 0.0) {
+        // Cost the whole pool once, through the process-wide table
+        // cache: a probe scenario holding every pool model keys ONE
+        // shared frozen table, reused by every generator with the
+        // same (loadSystem, pool) — and by the thousands of
+        // candidate specs a scenario hunt generates.
+        const hw::SystemConfig system = loadSystemFor(spec_);
+        Scenario probe;
+        probe.name = "load-probe";
+        for (const auto& m : spec_.pool) {
+            TaskSpec t;
+            t.model = m;
+            probe.tasks.push_back(std::move(t));
+        }
+        const auto table = cost::acquireCostTable(system, probe);
+        poolLatencySec_.reserve(spec_.pool.size());
+        for (const auto& m : spec_.pool) {
+            double sum_us = 0.0;
+            for (const auto& l : m.layers)
+                sum_us += table->avgLatencyUs(l);
+            poolLatencySec_.push_back(sum_us / 1e6);
+        }
+    }
 }
 
 Scenario
@@ -88,10 +138,67 @@ ScenarioGenerator::generate(uint64_t seed) const
     if (rates.empty())
         rates.push_back(spec_.minFps);
 
+    double load_so_far = 0.0;
     for (int i = 0; i < n_tasks; ++i) {
         TaskSpec t;
-        t.model = spec_.pool[rng.index(spec_.pool.size())];
-        t.fps = rates[rng.index(rates.size())];
+
+        // Model draw. With the Supernet knob, presence is decided
+        // first and the model comes from the matching subset; with a
+        // load target, a few candidates are drawn and the one whose
+        // best standard rate lands closest to an even share of the
+        // remaining target wins.
+        const std::vector<size_t>* subset = nullptr;
+        if (spec_.supernetProb >= 0.0) {
+            const bool super = rng.uniform() < spec_.supernetProb;
+            subset = super ? &supernetPool_ : &plainPool_;
+            if (subset->empty())
+                subset = nullptr;
+        }
+        const auto draw_model = [&]() {
+            return subset ? (*subset)[rng.index(subset->size())]
+                          : rng.index(spec_.pool.size());
+        };
+        size_t model_idx = draw_model();
+
+        if (spec_.targetLoad > 0.0) {
+            const double ideal =
+                (spec_.targetLoad - load_so_far) / double(n_tasks - i);
+            // Closest standard rate to the ideal per-task load for a
+            // given model latency; the residual distance rates the
+            // candidate.
+            const auto best_fit = [&](size_t idx, double* err) {
+                const double lat = poolLatencySec_[idx];
+                double fps = rates[0];
+                double best = std::abs(rates[0] * lat - ideal);
+                for (const double r : rates) {
+                    const double e = std::abs(r * lat - ideal);
+                    if (e < best) {
+                        best = e;
+                        fps = r;
+                    }
+                }
+                *err = best;
+                return fps;
+            };
+            double err = 0.0;
+            double fps = best_fit(model_idx, &err);
+            for (int c = 0; c < 2; ++c) {
+                const size_t cand = draw_model();
+                double cand_err = 0.0;
+                const double cand_fps = best_fit(cand, &cand_err);
+                if (cand_err < err) {
+                    err = cand_err;
+                    fps = cand_fps;
+                    model_idx = cand;
+                }
+            }
+            t.fps = fps;
+            load_so_far += fps * poolLatencySec_[model_idx];
+        } else {
+            t.fps = rates[rng.index(rates.size())];
+        }
+        t.model = spec_.pool[model_idx];
+
         // Dependencies only point at earlier tasks, so the dependency
         // graph is a forest by construction (chains and trees arise
         // from several tasks picking the same or chained parents).
@@ -105,11 +212,94 @@ ScenarioGenerator::generate(uint64_t seed) const
             t.endUs = t.startUs +
                       rng.uniform(0.25, 0.75) * spec_.horizonUs;
         }
+
+        // Operator-level dynamicity overrides: one probability per
+        // task, applied to every gate of its model. The draw happens
+        // whenever the knob is enabled (even for models without
+        // gates), so the stream position of later draws depends only
+        // on the spec, never on which model was picked upstream.
+        if (spec_.skipProbMin >= 0.0) {
+            const double p = rng.uniform(spec_.skipProbMin,
+                                         spec_.skipProbMax);
+            for (auto& blk : t.model.skipBlocks)
+                blk.skipProb = p;
+        }
+        if (spec_.exitProbMin >= 0.0) {
+            const double p = rng.uniform(spec_.exitProbMin,
+                                         spec_.exitProbMax);
+            for (auto& exit : t.model.earlyExits)
+                exit.exitProb = p;
+        }
         s.tasks.push_back(std::move(t));
     }
 
     assert(validateScenario(s));
     return s;
+}
+
+bool
+validateGenSpec(const ScenarioGenSpec& spec, std::string* error)
+{
+    const auto fail = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return false;
+    };
+    // NaN-proof interval check: lo <= v <= hi must be TRUE, so a NaN
+    // (which fails every comparison) is rejected, never waved
+    // through by a "not out of range" formulation.
+    const auto in_range = [](double v, double lo, double hi) {
+        return v >= lo && v <= hi;
+    };
+
+    if (spec.minTasks < 1 || spec.minTasks > spec.maxTasks)
+        return fail("task count range invalid (want 1 <= minTasks <= "
+                    "maxTasks)");
+    if (!(spec.minFps > 0.0) || !std::isfinite(spec.minFps) ||
+        !std::isfinite(spec.maxFps) || !(spec.minFps <= spec.maxFps))
+        return fail("fps range must be finite with 0 < minFps <= "
+                    "maxFps");
+    if (!in_range(spec.chainProb, 0.0, 1.0))
+        return fail("chainProb outside [0,1]");
+    if (!in_range(spec.minTriggerProb, 0.0, 1.0) ||
+        !in_range(spec.maxTriggerProb, 0.0, 1.0) ||
+        !(spec.minTriggerProb <= spec.maxTriggerProb))
+        return fail("trigger probability range invalid (want 0 <= "
+                    "min <= max <= 1)");
+    if (!in_range(spec.activationProb, 0.0, 1.0))
+        return fail("activationProb outside [0,1]");
+    if (!(spec.horizonUs > 0.0) || !std::isfinite(spec.horizonUs))
+        return fail("horizonUs must be finite and > 0");
+
+    // Override ranges: both ends disabled (-1) or both a valid
+    // ordered probability interval — a half-set range is a typo.
+    const auto check_override = [&](double lo, double hi) {
+        if (lo == -1.0 && hi == -1.0)
+            return true;
+        return in_range(lo, 0.0, 1.0) && in_range(hi, 0.0, 1.0) &&
+               lo <= hi;
+    };
+    if (!check_override(spec.skipProbMin, spec.skipProbMax))
+        return fail("skip probability override invalid (want both -1, "
+                    "or 0 <= min <= max <= 1)");
+    if (!check_override(spec.exitProbMin, spec.exitProbMax))
+        return fail("early-exit probability override invalid (want "
+                    "both -1, or 0 <= min <= max <= 1)");
+    if (spec.supernetProb != -1.0 &&
+        !in_range(spec.supernetProb, 0.0, 1.0))
+        return fail("supernetProb invalid (want -1, or in [0,1])");
+    if (!in_range(spec.targetLoad, 0.0, 1e6) ||
+        !std::isfinite(spec.targetLoad))
+        return fail("targetLoad must be finite and >= 0");
+    if (!spec.loadSystem.empty()) {
+        bool known = false;
+        for (const auto preset : hw::allSystemPresets())
+            known = known || hw::toString(preset) == spec.loadSystem;
+        if (!known)
+            return fail("unknown loadSystem preset name '" +
+                        spec.loadSystem + "'");
+    }
+    return true;
 }
 
 bool
@@ -140,6 +330,10 @@ validateScenario(const Scenario& scenario, std::string* error)
             return fail(where + ": depends on itself");
         if (!(spec.triggerProb >= 0.0 && spec.triggerProb <= 1.0))
             return fail(where + ": trigger probability outside [0,1]");
+        if (spec.dependsOn == kNoParent && spec.triggerProb != 1.0)
+            return fail(where + ": trigger probability set on a task "
+                                "with no dependency (roots must keep "
+                                "the inert default 1)");
         if (!(spec.startUs < spec.endUs))
             return fail(where + ": empty activation window");
         if (spec.startUs < 0.0)

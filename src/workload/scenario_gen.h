@@ -26,6 +26,14 @@ namespace workload {
  * defaults produce mixes comparable in size and load to the Table 3
  * presets (2-8 tasks, standard camera/display frame rates, mostly
  * shallow dependency trees, occasional activation windows).
+ *
+ * The dynamicity knobs below the pool (skip/early-exit overrides,
+ * Supernet presence, target aggregate load) all default to
+ * "disabled": a default-constructed spec generates byte-identical
+ * scenarios to the pre-knob generator, so existing seeded sweeps
+ * (bench/gen_scenarios) keep their mixes. They exist for the
+ * adversarial scenario hunt (engine::ScenarioSearch), which searches
+ * over them for worst-case mixes.
  */
 struct ScenarioGenSpec {
     /** Task count range (inclusive). */
@@ -48,7 +56,63 @@ struct ScenarioGenSpec {
      * fourteen Table 3 networks, including the dynamic ones).
      */
     std::vector<models::Model> pool;
+
+    // ------------------------------------------- dynamicity knobs
+    /**
+     * Per-task skip-gate probability override range. When >= 0, each
+     * task draws one probability in [skipProbMin, skipProbMax] and
+     * every SkipBlock of its model uses it instead of the zoo
+     * default (models without skip blocks are unaffected). -1
+     * disables the override.
+     */
+    double skipProbMin = -1.0;
+    double skipProbMax = -1.0;
+    /**
+     * Per-task early-exit probability override range, applied to
+     * every EarlyExit of the task's model. -1 disables.
+     */
+    double exitProbMin = -1.0;
+    double exitProbMax = -1.0;
+    /**
+     * P(a task's model is Supernet-based). When >= 0, each task
+     * first draws whether it is a Supernet task, then draws its
+     * model from the matching pool subset (falling back to the whole
+     * pool if the subset is empty). -1 keeps the unbiased draw.
+     */
+    double supernetProb = -1.0;
+    /**
+     * Target aggregate accelerator load (sum over tasks of
+     * effective-fps x whole-model latency, as reported by
+     * bench/tab03_scenarios; 1.0 ~ one fully busy reference
+     * accelerator). When > 0, model and fps draws are biased toward
+     * it: each task draws a few candidate models and picks the
+     * (model, standard rate) pair whose load lands closest to an
+     * even share of the remaining target. Latencies come from the
+     * process-wide cost::CostTableCache (one shared table for the
+     * whole pool), so the bias costs one table build per process.
+     * 0 disables the bias.
+     */
+    double targetLoad = 0.0;
+    /**
+     * Display name of the hw::SystemPreset the target load is costed
+     * on (empty selects the default heterogeneous 4K preset,
+     * "4K-1WS+2OS"). Part of the spec so a (spec, seed) pair alone
+     * reproduces the scenario on any host.
+     */
+    std::string loadSystem;
 };
+
+/**
+ * Validity check for the spec itself — the gate suite files pass
+ * before a spec is ever handed to a generator: finite in-range
+ * probabilities (and both-or-neither override ranges), ordered
+ * task/fps/trigger bounds, positive horizon, a known loadSystem
+ * name, non-negative finite targetLoad. NaN in any knob fails. On
+ * failure returns false and, when @p error is non-null, stores a
+ * description of the first violation.
+ */
+bool validateGenSpec(const ScenarioGenSpec& spec,
+                     std::string* error = nullptr);
 
 /**
  * Seeded deterministic scenario generator.
@@ -71,15 +135,27 @@ public:
 
 private:
     ScenarioGenSpec spec_;
+    /** Pool indices of Supernet / plain models (supernetProb >= 0). */
+    std::vector<size_t> supernetPool_;
+    std::vector<size_t> plainPool_;
+    /**
+     * Whole-model latency (seconds, averaged across the loadSystem
+     * accelerators) per pool model; empty unless targetLoad > 0.
+     * Costed once from the shared cost-table cache.
+     */
+    std::vector<double> poolLatencySec_;
 };
 
 /**
  * Validity check every generated scenario must pass (and every
  * hand-written one should): non-empty task list, finite fps > 0,
  * in-range dependency edges forming a forest (acyclic, no
- * self-dependency), trigger probabilities in [0, 1], and activation
- * windows with start < end. On failure returns false and, when
- * @p error is non-null, stores a description of the first violation.
+ * self-dependency), trigger probabilities in [0, 1] — and exactly
+ * 1 (the inert default) on tasks with no dependency, where a gate
+ * probability is meaningless and indicates a malformed (e.g.
+ * hand-edited) task list — and activation windows with start < end.
+ * On failure returns false and, when @p error is non-null, stores a
+ * description of the first violation.
  */
 bool validateScenario(const Scenario& scenario,
                       std::string* error = nullptr);

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * dream_hunt — the adversarial scenario hunter CLI.
+ *
+ * Runs engine::ScenarioSearch over workload::ScenarioGenSpec knobs x
+ * generation seed to find the mixes that maximize a scheduler's
+ * UXCost (or its gap over FCFS), then:
+ *  - prints a markdown report of the frontier (byte-deterministic
+ *    for a given --seed: no timestamps, no wall-clock, shortest
+ *    round-trip numbers), comparing the hardest find against the
+ *    worst Table 3 preset;
+ *  - optionally persists the top mixes as a schema-versioned
+ *    hard-scenarios suite (--suite scenarios/hard_v1.json), each
+ *    entry re-evaluated across the full evaluation scheduler set so
+ *    the file carries expected UXCosts for bench/hard_scenarios and
+ *    the CI gate to re-check.
+ *
+ * usage: dream_hunt [--scheduler NAME] [--objective uxcost|gap]
+ *                   [--budget N] [--starts N] [--jobs N] [--seed S]
+ *                   [--sim-seed S] [--window US] [--system PRESET]
+ *                   [--top K] [--suite FILE] [--report FILE]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/scenario_search.h"
+#include "engine/sweep_grid.h"
+#include "runner/experiment.h"
+#include "runner/table.h"
+#include "workload/scenario_suite.h"
+
+using namespace dream;
+
+namespace {
+
+void
+usage(const char* prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --scheduler NAME  scheduler under attack (default "
+        "DREAM-Full)\n"
+        "  --objective O     uxcost = maximize the scheduler's "
+        "UXCost;\n"
+        "                    gap = maximize its UXCost minus FCFS's "
+        "(default uxcost)\n"
+        "  --budget N        distinct (spec, seed) simulations "
+        "(default 160)\n"
+        "  --starts N        independent search starts (default 6)\n"
+        "  --jobs N          worker threads for candidate batches "
+        "(default 1;\n"
+        "                    0 = all cores; any value is "
+        "byte-identical)\n"
+        "  --seed S          search-trajectory seed (default 1); "
+        "same seed,\n"
+        "                    same report, byte for byte\n"
+        "  --sim-seed S      simulation seed per candidate (default "
+        "11)\n"
+        "  --window US       simulated window per candidate "
+        "(default 1e6)\n"
+        "  --system PRESET   system preset display name (default "
+        "4K-1WS+2OS)\n"
+        "  --top K           frontier entries reported / persisted "
+        "(default 8)\n"
+        "  --suite FILE      write the top mixes as a hard-scenarios "
+        "suite\n"
+        "                    (expected UXCosts re-evaluated across "
+        "all\n"
+        "                    evaluation schedulers)\n"
+        "  --report FILE     write the markdown report to FILE "
+        "instead of stdout\n",
+        prog);
+}
+
+bool
+parseSched(const std::string& name, runner::SchedKind* out)
+{
+    for (const auto kind : runner::allSchedKinds()) {
+        if (name == runner::toString(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parsePreset(const std::string& name, hw::SystemPreset* out)
+{
+    for (const auto preset : hw::allSystemPresets()) {
+        if (name == hw::toString(preset)) {
+            *out = preset;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** %.6g — compact, deterministic report numbers. */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char** argv)
+{
+    engine::ScenarioSearch::Options sopts;
+    int top = 8;
+    std::string suite_path, report_path;
+    std::string system_name = "4K-1WS+2OS";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        const auto number = [&](double lo) {
+            const char* text = value();
+            char* end = nullptr;
+            const double v = std::strtod(text, &end);
+            if (end == text || *end != '\0' || !(v >= lo)) {
+                std::fprintf(stderr, "invalid %s value: %s\n",
+                             arg.c_str(), text);
+                std::exit(2);
+            }
+            return v;
+        };
+        if (arg == "--scheduler") {
+            const std::string name = value();
+            if (!parseSched(name, &sopts.scheduler)) {
+                std::fprintf(stderr, "unknown scheduler: %s\n",
+                             name.c_str());
+                return 2;
+            }
+        } else if (arg == "--objective") {
+            const std::string o = value();
+            if (o == "uxcost") {
+                sopts.goal = engine::ScenarioSearch::Goal::MaxUxCost;
+            } else if (o == "gap") {
+                sopts.goal = engine::ScenarioSearch::Goal::MaxGap;
+            } else {
+                std::fprintf(stderr,
+                             "invalid --objective (want uxcost or "
+                             "gap): %s\n",
+                             o.c_str());
+                return 2;
+            }
+        } else if (arg == "--budget") {
+            sopts.budget = int(number(1.0));
+        } else if (arg == "--starts") {
+            sopts.starts = int(number(1.0));
+        } else if (arg == "--jobs" || arg == "-j") {
+            sopts.jobs = int(number(0.0));
+        } else if (arg == "--seed") {
+            sopts.searchSeed = uint64_t(number(0.0));
+        } else if (arg == "--sim-seed") {
+            sopts.simSeed = uint64_t(number(0.0));
+        } else if (arg == "--window") {
+            sopts.windowUs = number(1.0);
+        } else if (arg == "--system") {
+            system_name = value();
+            if (!parsePreset(system_name, &sopts.system)) {
+                std::fprintf(stderr, "unknown system preset: %s\n",
+                             system_name.c_str());
+                return 2;
+            }
+        } else if (arg == "--top") {
+            top = int(number(1.0));
+        } else if (arg == "--suite") {
+            suite_path = value();
+        } else if (arg == "--report") {
+            report_path = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    // Activation windows should fall inside the simulated window so
+    // task dynamicity manifests (same discipline as gen_scenarios).
+    sopts.base.horizonUs = sopts.windowUs;
+
+    // Reference point: the target scheduler's UXCost on the five
+    // Table 3 presets — "harder than anything the paper evaluates"
+    // means beating the worst of these.
+    engine::SweepGrid ref;
+    for (const auto preset : workload::allScenarioPresets())
+        ref.addScenario(preset);
+    ref.addSystem(sopts.system)
+        .addScheduler(sopts.scheduler)
+        .seeds({sopts.simSeed})
+        .window(sopts.windowUs);
+    const engine::Engine engine(engine::EngineOptions(sopts.jobs));
+    double ref_worst = 0.0;
+    std::string ref_worst_name;
+    for (const auto& r : engine.run(ref)) {
+        if (r.uxCost > ref_worst) {
+            ref_worst = r.uxCost;
+            ref_worst_name = r.scenario;
+        }
+    }
+
+    engine::ScenarioSearch search(sopts);
+    const auto result = search.run();
+    if (result.frontier.empty()) {
+        std::fprintf(stderr, "hunt evaluated no candidates\n");
+        return 1;
+    }
+    const size_t keep =
+        std::min(size_t(top), result.frontier.size());
+
+    // Re-evaluate the kept mixes across the full evaluation
+    // scheduler set: the suite's expected values, and the report's
+    // per-scheduler columns.
+    const auto schedulers = runner::evaluationSchedulers();
+    engine::SweepGrid final_grid;
+    for (size_t i = 0; i < keep; ++i) {
+        const auto& c = result.frontier[i];
+        char name[32];
+        std::snprintf(name, sizeof name, "hard-%02zu", i + 1);
+        const workload::ScenarioGenSpec spec = c.spec;
+        const uint64_t seed = c.genSeed;
+        final_grid.addScenario(name, [spec, seed]() {
+            const workload::ScenarioGenerator gen(spec);
+            return gen.generate(seed);
+        });
+    }
+    final_grid.addSystem(sopts.system)
+        .seeds({sopts.simSeed})
+        .window(sopts.windowUs);
+    for (const auto kind : schedulers)
+        final_grid.addScheduler(kind);
+    const auto final_records = engine.run(final_grid);
+
+    // ------------------------------------------------ the report
+    std::ostringstream md;
+    const char* goal_name =
+        sopts.goal == engine::ScenarioSearch::Goal::MaxGap
+            ? "gap"
+            : "uxcost";
+    md << "# dream_hunt report\n\n";
+    md << "| config | value |\n|---|---|\n";
+    md << "| scheduler | " << runner::toString(sopts.scheduler)
+       << " |\n";
+    md << "| objective | " << goal_name << " |\n";
+    md << "| system | " << system_name << " |\n";
+    md << "| window (us) | " << num(sopts.windowUs) << " |\n";
+    md << "| budget | " << sopts.budget << " |\n";
+    md << "| starts | " << sopts.starts << " |\n";
+    md << "| search seed | " << sopts.searchSeed << " |\n";
+    md << "| sim seed | " << sopts.simSeed << " |\n\n";
+    md << "Search: " << search.simulations()
+       << " distinct mixes simulated, " << search.transpositionHits()
+       << " transposition hits, " << search.prunedStarts()
+       << " starts pruned.\n\n";
+    md << "Reference: worst Table 3 preset for "
+       << runner::toString(sopts.scheduler) << " is "
+       << ref_worst_name << " (UXCost " << num(ref_worst) << ").\n\n";
+
+    const auto& best = result.best;
+    const double ratio =
+        ref_worst > 0.0 ? best.uxTarget / ref_worst : 0.0;
+    md << "Hardest mix: UXCost " << num(best.uxTarget) << " ("
+       << num(ratio) << "x the worst preset"
+       << (best.uxTarget > ref_worst ? "" : " — NOT harder")
+       << "), FCFS " << num(best.uxBaseline) << ", objective value "
+       << num(best.value) << ".\n\n";
+
+    md << "## frontier (top " << keep << " of "
+       << result.frontier.size() << " evaluated)\n\n";
+    md << "| rank | value | " << runner::toString(sopts.scheduler)
+       << " | FCFS | gen seed | spec |\n";
+    md << "|---|---|---|---|---|---|\n";
+    for (size_t i = 0; i < keep; ++i) {
+        const auto& c = result.frontier[i];
+        md << "| " << (i + 1) << " | " << num(c.value) << " | "
+           << num(c.uxTarget) << " | " << num(c.uxBaseline) << " | "
+           << c.genSeed << " | `"
+           << workload::serializeGenSpec(c.spec) << "` |\n";
+    }
+
+    md << "\n## per-scheduler UXCost of the kept mixes\n\n";
+    md << "| mix |";
+    for (const auto kind : schedulers)
+        md << " " << runner::toString(kind) << " |";
+    md << "\n|---|";
+    for (size_t s = 0; s < schedulers.size(); ++s)
+        md << "---|";
+    md << "\n";
+    // Flat order: scenario slowest, scheduler fastest (one system,
+    // one seed) — mix i owns records [i*S, (i+1)*S).
+    for (size_t i = 0; i < keep; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof name, "hard-%02zu", i + 1);
+        md << "| " << name << " |";
+        for (size_t s = 0; s < schedulers.size(); ++s)
+            md << " "
+               << num(final_records[i * schedulers.size() + s].uxCost)
+               << " |";
+        md << "\n";
+    }
+
+    if (!report_path.empty()) {
+        std::ofstream out(report_path);
+        if (!out.is_open()) {
+            std::fprintf(stderr,
+                         "cannot open --report file for writing: "
+                         "%s\n",
+                         report_path.c_str());
+            return 2;
+        }
+        out << md.str();
+        std::printf("report written to %s\n", report_path.c_str());
+    } else {
+        std::fputs(md.str().c_str(), stdout);
+    }
+
+    if (!suite_path.empty()) {
+        workload::HardScenarioSuite suite;
+        suite.system = system_name;
+        suite.windowUs = sopts.windowUs;
+        suite.seeds = {sopts.simSeed};
+        for (size_t i = 0; i < keep; ++i) {
+            const auto& c = result.frontier[i];
+            workload::HardScenarioEntry entry;
+            char name[32];
+            std::snprintf(name, sizeof name, "hard-%02zu", i + 1);
+            entry.name = name;
+            entry.spec = c.spec;
+            entry.genSeed = c.genSeed;
+            for (size_t s = 0; s < schedulers.size(); ++s) {
+                entry.expected.emplace_back(
+                    runner::toString(schedulers[s]),
+                    final_records[i * schedulers.size() + s].uxCost);
+            }
+            suite.entries.push_back(std::move(entry));
+        }
+        try {
+            workload::saveHardScenarioSuite(suite, suite_path);
+        } catch (const std::runtime_error& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+        std::printf("suite written to %s (%zu entries)\n",
+                    suite_path.c_str(), suite.entries.size());
+    }
+    return 0;
+}
