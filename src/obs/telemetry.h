@@ -17,10 +17,40 @@
 namespace dream {
 namespace obs {
 
-/** The telemetry outputs of one simulation run; either may be null. */
+/**
+ * One terminal frame outcome (completion or drop), emitted by the
+ * simulator at the virtual time the frame left the system. Frames
+ * still in flight at the window end never produce an outcome.
+ */
+struct FrameOutcome {
+    int task = 0;
+    int frameIdx = 0;
+    /** Virtual time of the outcome event (us). */
+    double tUs = 0.0;
+    double arrivalUs = 0.0;
+    double deadlineUs = 0.0;
+    /** Completion time; NaN when the frame was dropped. */
+    double completionUs = 0.0;
+    bool violated = false;
+    bool dropped = false;
+};
+
+/**
+ * Receives frame outcomes as they happen — the push feed serve-mode
+ * rolling-window telemetry hangs off. Like the other telemetry
+ * halves, attaching one observes the run without perturbing it.
+ */
+class FrameOutcomeSink {
+public:
+    virtual ~FrameOutcomeSink() = default;
+    virtual void onFrameOutcome(const FrameOutcome& outcome) = 0;
+};
+
+/** The telemetry outputs of one simulation run; any may be null. */
 struct SimTelemetry {
     TraceEventSink* trace = nullptr;
     MetricsRegistry* metrics = nullptr;
+    FrameOutcomeSink* outcomes = nullptr;
 };
 
 } // namespace obs

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Event-driven serve loop: drives the simulator incrementally as
+ * arrivals land on a StreamSource — no end-of-window barrier. Each
+ * drained frame passes the admission gate, then the simulator is
+ * advanced to its arrival time before the frame is offered, which
+ * preserves the offline event order exactly: with admission disabled,
+ * the final RunStats is bit-identical to Simulator::run() over the
+ * same source. Rolling-window telemetry (p50/p99 latency,
+ * SLO-violation/drop/reject rates) is reported at fixed virtual-time
+ * intervals and published through obs::MetricsRegistry.
+ */
+
+#ifndef DREAM_SERVE_SERVE_LOOP_H
+#define DREAM_SERVE_SERVE_LOOP_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "costmodel/cost_table.h"
+#include "hw/system.h"
+#include "obs/metrics.h"
+#include "obs/rolling.h"
+#include "obs/telemetry.h"
+#include "serve/admission.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "workload/scenario.h"
+#include "workload/stream_source.h"
+
+namespace dream {
+namespace serve {
+
+struct ServeConfig {
+    /** Execution window Texec in microseconds. */
+    double windowUs = 2e6;
+    /** Workload randomness seed (cascade children etc.). */
+    uint64_t seed = 1;
+    /** Virtual-time spacing of rolling reports (0 = final only). */
+    double reportIntervalUs = 2e5;
+    /** Span of the rolling telemetry windows. */
+    double rollingSpanUs = 5e5;
+    AdmissionConfig admission;
+    /** Optional metrics registry for the canonical serve schema
+     *  (src/obs/README.md) plus the simulator's own hooks. */
+    obs::MetricsRegistry* metrics = nullptr;
+    /** Optional stream for one human-readable line per report. */
+    std::ostream* log = nullptr;
+};
+
+/** One rolling-telemetry report, taken at virtual time tUs. */
+struct ServeSnapshot {
+    double tUs = 0.0;
+    size_t queueDepth = 0;     ///< live frames in the simulator
+    uint64_t windowSamples = 0;  ///< completions in the rolling span
+    double p50Us = 0.0;        ///< NaN when the span has no samples
+    double p99Us = 0.0;        ///< NaN when the span has no samples
+    double violationRate = 0.0;  ///< violations / outcomes in span
+    double dropRate = 0.0;       ///< scheduler drops / outcomes
+    double rejectRate = 0.0;     ///< admission rejects / offers
+    double backlogUs = 0.0;      ///< admission backlog projection
+};
+
+struct ServeResult {
+    sim::RunStats stats;
+    AdmissionStats admission;
+    std::vector<ServeSnapshot> snapshots;
+};
+
+/**
+ * One serving session over one (system, scenario, cost table). The
+ * loop consumes a StreamSource until it is closed and drained; a
+ * producer thread may keep pushing while run() executes, and the
+ * result is deterministic regardless of producer timing because all
+ * decisions key off virtual arrival times.
+ */
+class ServeLoop : public obs::FrameOutcomeSink {
+public:
+    ServeLoop(const hw::SystemConfig& system,
+              const workload::Scenario& scenario,
+              const cost::CostTable& costs, ServeConfig config);
+
+    /** Serve the stream to the window end under @p sched. */
+    ServeResult run(sim::Scheduler& sched,
+                    workload::StreamSource& stream);
+
+    /** FrameOutcomeSink: feeds the rolling windows. */
+    void onFrameOutcome(const obs::FrameOutcome& outcome) override;
+
+private:
+    void advanceWithReports(sim::Simulator& sim,
+                            AdmissionController* admission,
+                            double target_us);
+    ServeSnapshot takeSnapshot(sim::Simulator& sim,
+                               AdmissionController* admission,
+                               double t_us);
+    void publishMetrics(const ServeResult& result, double wall_ms);
+
+    const hw::SystemConfig& system_;
+    const workload::Scenario& scenario_;
+    const cost::CostTable& costs_;
+    ServeConfig config_;
+
+    // Per-run rolling state (reset by run()).
+    obs::RollingQuantileWindow latency_;
+    obs::RollingEventCounter outcomes_;
+    obs::RollingEventCounter violations_;
+    obs::RollingEventCounter drops_;
+    obs::RollingEventCounter offers_;
+    obs::RollingEventCounter rejects_;
+    std::vector<ServeSnapshot> snapshots_;
+    double nextReportUs_ = 0.0;
+};
+
+} // namespace serve
+} // namespace dream
+
+#endif // DREAM_SERVE_SERVE_LOOP_H

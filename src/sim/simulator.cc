@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 
 #include "costmodel/layer_cost.h"
@@ -75,6 +76,7 @@ Simulator::admitFrame(const workload::FrameSpec& spec)
     }
 
     taskQueues_[spec.task].push_back(req->id);
+    liveFrames_ += 1;
 
     if (config_.telemetry && config_.telemetry->trace) {
         config_.telemetry->trace->instant(
@@ -131,6 +133,8 @@ Simulator::completeJob(const Job& job)
     // Frame complete.
     req.done = true;
     req.completionUs = job.endUs;
+    assert(liveFrames_ > 0);
+    liveFrames_ -= 1;
     TaskStats& ts = stats_.tasks[req.task];
     const bool counted = inWindow(req.deadlineUs, config_.windowUs);
     if (counted) {
@@ -154,6 +158,18 @@ Simulator::completeJob(const Job& job)
                     .integer("frame", req.frameIdx)
                     .num("deadline_us", req.deadlineUs)
                     .num("completion_us", req.completionUs));
+        }
+        if (config_.telemetry->outcomes) {
+            obs::FrameOutcome fo;
+            fo.task = req.task;
+            fo.frameIdx = req.frameIdx;
+            fo.tUs = nowUs_;
+            fo.arrivalUs = req.arrivalUs;
+            fo.deadlineUs = req.deadlineUs;
+            fo.completionUs = req.completionUs;
+            fo.violated = req.completionUs > req.deadlineUs;
+            fo.dropped = false;
+            config_.telemetry->outcomes->onFrameOutcome(fo);
         }
     }
 
@@ -197,6 +213,8 @@ Simulator::applyDrop(const FrameDrop& drop)
     Request& req = *requests_[drop.requestId];
     assert(!req.inFlight && !req.finished());
     req.dropped = true;
+    assert(liveFrames_ > 0);
+    liveFrames_ -= 1;
     TaskStats& ts = stats_.tasks[req.task];
     if (inWindow(req.deadlineUs, config_.windowUs)) {
         ts.droppedFrames += 1;
@@ -214,6 +232,18 @@ Simulator::applyDrop(const FrameDrop& drop)
                 .integer("task", req.task)
                 .integer("frame", req.frameIdx)
                 .num("deadline_us", req.deadlineUs));
+    }
+    if (config_.telemetry && config_.telemetry->outcomes) {
+        obs::FrameOutcome fo;
+        fo.task = req.task;
+        fo.frameIdx = req.frameIdx;
+        fo.tUs = nowUs_;
+        fo.arrivalUs = req.arrivalUs;
+        fo.deadlineUs = req.deadlineUs;
+        fo.completionUs = std::nan("");
+        fo.violated = true;
+        fo.dropped = true;
+        config_.telemetry->outcomes->onFrameOutcome(fo);
     }
 }
 
@@ -423,6 +453,23 @@ Simulator::invokeScheduler(Scheduler& sched)
 RunStats
 Simulator::run(Scheduler& sched)
 {
+    beginStream(sched);
+    auto arrivals = source_->rootFrames(config_.windowUs);
+    // Stable: simultaneous arrivals keep source order, so a trace
+    // replay (whose source order is the recorded admission order)
+    // reproduces the original run's admission sequence exactly.
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.arrivalUs < b.arrivalUs;
+                     });
+    for (const auto& spec : arrivals)
+        offerArrival(spec);
+    return finishStream();
+}
+
+void
+Simulator::beginStream(Scheduler& sched)
+{
     // Reset per-run state.
     requests_.clear();
     taskQueues_.assign(scenario_.tasks.size(), {});
@@ -473,28 +520,49 @@ Simulator::run(Scheduler& sched)
         trace.threadName(framesTid_, "frames");
     }
 
-    auto arrivals = source_->rootFrames(config_.windowUs);
-    // Stable: simultaneous arrivals keep source order, so a trace
-    // replay (whose source order is the recorded admission order)
-    // reproduces the original run's admission sequence exactly.
-    std::stable_sort(arrivals.begin(), arrivals.end(),
-                     [](const auto& a, const auto& b) {
-                         return a.arrivalUs < b.arrivalUs;
-                     });
+    pendingArrivals_.clear();
+    nextArrival_ = 0;
+    liveFrames_ = 0;
+    streamSched_ = &sched;
+    streaming_ = true;
 
     buildContext();
     sched.reset(ctx_);
+}
 
-    size_t next_arrival = 0;
+void
+Simulator::offerArrival(const workload::FrameSpec& spec)
+{
+    assert(streaming_ && "offerArrival outside a stream");
+    if (!pendingArrivals_.empty() &&
+        spec.arrivalUs < pendingArrivals_.back().arrivalUs)
+        throw std::invalid_argument(
+            "stream arrivals must be offered in nondecreasing "
+            "arrival order");
+    if (spec.arrivalUs < nowUs_ - 1e-9)
+        throw std::invalid_argument(
+            "stream arrival offered behind the stream clock");
+    pendingArrivals_.push_back(spec);
+}
+
+void
+Simulator::advanceTo(double limit_us)
+{
+    assert(streaming_ && "advanceTo outside a stream");
+    const double limit = std::min(limit_us, config_.windowUs);
+    // With limit == windowUs this is exactly run()'s event loop: the
+    // break test `t >= limit` degenerates to `t >= windowUs`, so a
+    // stream that offers every arrival before advancing past it
+    // replays the offline run event-for-event.
     while (true) {
         double t = config_.windowUs;
-        if (next_arrival < arrivals.size())
-            t = std::min(t, arrivals[next_arrival].arrivalUs);
+        if (nextArrival_ < pendingArrivals_.size())
+            t = std::min(t, pendingArrivals_[nextArrival_].arrivalUs);
         if (!completions_.empty())
             t = std::min(t, completions_.top().endUs);
         if (!wakeups_.empty())
             t = std::min(t, wakeups_.top());
-        if (t >= config_.windowUs)
+        if (t >= limit)
             break;
 
         nowUs_ = t;
@@ -504,18 +572,27 @@ Simulator::run(Scheduler& sched)
             completions_.pop();
             completeJob(job);
         }
-        while (next_arrival < arrivals.size() &&
-               arrivals[next_arrival].arrivalUs <= nowUs_ + 1e-9) {
-            admitFrame(arrivals[next_arrival]);
-            ++next_arrival;
+        while (nextArrival_ < pendingArrivals_.size() &&
+               pendingArrivals_[nextArrival_].arrivalUs <=
+                   nowUs_ + 1e-9) {
+            admitFrame(pendingArrivals_[nextArrival_]);
+            ++nextArrival_;
         }
         while (!wakeups_.empty() && wakeups_.top() <= nowUs_ + 1e-9)
             wakeups_.pop();
 
-        invokeScheduler(sched);
+        invokeScheduler(*streamSched_);
     }
+}
 
+RunStats
+Simulator::finishStream()
+{
+    assert(streaming_ && "finishStream outside a stream");
+    advanceTo(config_.windowUs);
     finalizeStats();
+    streaming_ = false;
+    streamSched_ = nullptr;
     return stats_;
 }
 

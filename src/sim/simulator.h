@@ -71,6 +71,50 @@ public:
     /** Execute the window under @p sched and return the run stats. */
     RunStats run(Scheduler& sched);
 
+    /**
+     * Incremental (streaming) execution. run() is exactly
+     *
+     *     beginStream(sched);
+     *     for (frame : stable-sorted rootFrames) offerArrival(frame);
+     *     return finishStream();
+     *
+     * so a serve loop that offers each arrival before advancing past
+     * its arrival time produces bit-identical RunStats to the offline
+     * run — the determinism anchor of stream-mode replay. Between
+     * beginStream() and finishStream() the caller may interleave
+     * offerArrival() and advanceTo() freely, subject to the ordering
+     * contracts below.
+     */
+
+    /** Reset per-run state and bind @p sched for this stream. */
+    void beginStream(Scheduler& sched);
+
+    /**
+     * Queue one externally-released frame. Arrivals must be offered
+     * in nondecreasing arrival order and before the stream clock has
+     * advanced past them (offer, then advanceTo); violating either
+     * throws std::invalid_argument. Cascade children are still
+     * materialised internally via ArrivalSource::childFrame.
+     */
+    void offerArrival(const workload::FrameSpec& spec);
+
+    /**
+     * Process every event strictly before min(@p limit_us, window):
+     * the same event loop as run(), with the window bound replaced by
+     * the limit. Idempotent for a fixed limit; the stream clock never
+     * moves backwards.
+     */
+    void advanceTo(double limit_us);
+
+    /** Drain remaining events to the window end and finalize stats. */
+    RunStats finishStream();
+
+    /** Virtual time of the last processed event (us). */
+    double nowUs() const { return nowUs_; }
+
+    /** Admitted frames (root + cascade) not yet finished. */
+    size_t liveFrames() const { return liveFrames_; }
+
 private:
     struct JobEvent {
         double endUs;
@@ -108,6 +152,14 @@ private:
     double nowUs_ = 0.0;
     RunStats stats_;
     SchedulerContext ctx_;
+    /** Stream state: offered-but-unadmitted arrivals (FIFO from
+     *  nextArrival_), the bound scheduler, and the live-frame count
+     *  serve-mode admission control reads as its queue depth. */
+    std::vector<workload::FrameSpec> pendingArrivals_;
+    size_t nextArrival_ = 0;
+    Scheduler* streamSched_ = nullptr;
+    bool streaming_ = false;
+    size_t liveFrames_ = 0;
     /** Start of the current busy interval per accelerator (valid
      *  while runningJobs > 0) — feeds RunStats::accelBusyUs. */
     std::vector<double> busyStartUs_;

@@ -531,6 +531,26 @@ MetricsProfile::has(const std::string& name) const
     return false;
 }
 
+double
+MetricsProfile::gauge(const std::string& name, double fallback) const
+{
+    for (const auto& kv : gauges) {
+        if (kv.first == name)
+            return kv.second;
+    }
+    return fallback;
+}
+
+bool
+MetricsProfile::hasGauge(const std::string& name) const
+{
+    for (const auto& kv : gauges) {
+        if (kv.first == name)
+            return true;
+    }
+    return false;
+}
+
 MetricsProfile
 readMetricsJson(std::istream& in, const std::string& name)
 {
@@ -541,14 +561,17 @@ readMetricsJson(std::istream& in, const std::string& name)
     MetricsProfile m;
 
     // One object member whose value is a flat object ("counters",
-    // "gauges") or an object of objects ("histograms"); only counter
-    // values are kept.
+    // "gauges") or an object of objects ("histograms"); scalar
+    // sections are kept, histogram summaries are parsed past.
     const auto parse_leaf = [&](const std::string& section,
                                 const std::string& key) {
         const std::string tok = p.parseScalar();
         if (section == "counters")
             m.counters.push_back(
                 {key, parseNumber(tok, name, key, m.counters.size())});
+        else if (section == "gauges")
+            m.gauges.push_back(
+                {key, parseNumber(tok, name, key, m.gauges.size())});
     };
 
     p.expect('{');
@@ -624,6 +647,55 @@ cacheReport(const MetricsProfile& metrics)
               acquisitions > 0.0
                   ? runner::fmtPct(hits / acquisitions, 1)
                   : std::string("n/a")});
+    out << t.str();
+    return out.str();
+}
+
+std::string
+serveReport(const MetricsProfile& metrics)
+{
+    std::ostringstream out;
+    if (!metrics.has("serve/frames/offered")) {
+        out << "no serve metrics in this dump (record one with "
+               "dream_serve --metrics F)\n";
+        return out.str();
+    }
+    runner::Table t({"serve telemetry", "value"});
+    t.addRow({"frames offered",
+              runner::fmt(metrics.counter("serve/frames/offered"),
+                          0)});
+    t.addRow({"frames admitted",
+              runner::fmt(metrics.counter("serve/frames/admitted"),
+                          0)});
+    t.addRow({"frames degraded",
+              runner::fmt(metrics.counter("serve/frames/degraded"),
+                          0)});
+    t.addRow({"frames rejected",
+              runner::fmt(metrics.counter("serve/frames/rejected"),
+                          0)});
+    t.addRow({"rolling reports",
+              runner::fmt(metrics.counter("serve/reports"), 0)});
+    const auto gaugeRow = [&](const char* label, const char* name,
+                              int digits) {
+        t.addRow({label, metrics.hasGauge(name)
+                             ? runner::fmt(metrics.gauge(name),
+                                           digits)
+                             : std::string("n/a")});
+    };
+    const auto pctRow = [&](const char* label, const char* name) {
+        t.addRow({label, metrics.hasGauge(name)
+                             ? runner::fmtPct(metrics.gauge(name), 1)
+                             : std::string("n/a")});
+    };
+    gaugeRow("rolling p50 latency (us)",
+             "serve/rolling/latency_p50_us", 1);
+    gaugeRow("rolling p99 latency (us)",
+             "serve/rolling/latency_p99_us", 1);
+    pctRow("rolling SLO-violation rate",
+           "serve/rolling/violation_rate");
+    pctRow("rolling drop rate", "serve/rolling/drop_rate");
+    pctRow("rolling reject rate", "serve/rolling/reject_rate");
+    gaugeRow("admission backlog (us)", "serve/backlog_us", 1);
     out << t.str();
     return out.str();
 }

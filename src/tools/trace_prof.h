@@ -112,19 +112,26 @@ TraceProfile readTraceEventJson(const std::string& path);
 std::string profileReport(const TraceProfile& profile);
 
 /**
- * Parsed counters section of a metrics JSON dump (`bench --metrics
- * F` / `--metrics-full F`, obs::MetricsRegistry::writeJson). Gauges
- * and histograms are parsed past but not kept: the profiler's
- * consumer — the cost-cache efficiency table — only needs counters.
+ * Parsed counters and gauges of a metrics JSON dump (`bench
+ * --metrics F` / `--metrics-full F`,
+ * obs::MetricsRegistry::writeJson). Histograms are parsed past but
+ * not kept: the profiler's consumers — the cost-cache efficiency
+ * and serve-telemetry tables — only need scalar sections.
  */
 struct MetricsProfile {
-    /** (name, value) in file order. */
+    /** Counter (name, value) pairs in file order. */
     std::vector<std::pair<std::string, double>> counters;
+    /** Gauge (name, value) pairs in file order. */
+    std::vector<std::pair<std::string, double>> gauges;
 
     /** Counter value, or @p fallback when absent. */
     double counter(const std::string& name,
                    double fallback = 0.0) const;
     bool has(const std::string& name) const;
+
+    /** Gauge value, or @p fallback when absent. */
+    double gauge(const std::string& name, double fallback = 0.0) const;
+    bool hasGauge(const std::string& name) const;
 };
 
 /**
@@ -148,6 +155,14 @@ MetricsProfile readMetricsJson(const std::string& path);
  * so a dump without them yields an explanatory line instead.
  */
 std::string cacheReport(const MetricsProfile& metrics);
+
+/**
+ * Render the serve-mode telemetry table from a metrics dump
+ * (`dream_serve --metrics F`): admission counters and the final
+ * rolling-window latency/SLO gauges. A dump without serve metrics
+ * yields an explanatory line instead.
+ */
+std::string serveReport(const MetricsProfile& metrics);
 
 } // namespace tools
 } // namespace dream

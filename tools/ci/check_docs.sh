@@ -1,0 +1,79 @@
+#!/bin/sh
+# Doc-drift lint: every user-facing --flag must be documented.
+#
+# Sources of truth are the argument parsers themselves: the shared
+# bench driver (bench/bench_main.h, every bench/*.cc target) and each
+# tools/*.cc binary. A flag string literal that appears in a parser
+# but in none of that surface's READMEs fails the check — so adding a
+# flag without documenting it breaks CI, and the docs cannot silently
+# rot as the CLIs grow.
+#
+# Mapping:
+#   bench/bench_main.h  -> src/engine/README.md or tools/README.md
+#                          (the two docs that describe the shared
+#                          bench protocol)
+#   tools/dream_X.cc    -> tools/README.md
+#
+# --help/-h are exempt (self-documenting).
+#
+# Usage: check_docs.sh [REPO_ROOT]
+set -eu
+
+root="${1:-.}"
+cd "$root"
+
+fail=0
+
+# Print the unique --flag literals appearing in a source file.
+flags_of() {
+    grep -oE '"--[a-z0-9][a-z0-9-]*"' "$1" | tr -d '"' | sort -u
+}
+
+check() {
+    src="$1"
+    shift # remaining args: the README(s) allowed to document it
+    for flag in $(flags_of "$src"); do
+        [ "$flag" = "--help" ] && continue
+        ok=0
+        for doc in "$@"; do
+            if grep -qF -- "$flag" "$doc"; then
+                ok=1
+                break
+            fi
+        done
+        if [ "$ok" -eq 0 ]; then
+            echo "check_docs: $src accepts '$flag' but none of" \
+                 "[$*] documents it" >&2
+            fail=1
+        fi
+    done
+}
+
+check bench/bench_main.h src/engine/README.md tools/README.md
+
+for src in tools/*.cc; do
+    check "$src" tools/README.md
+done
+
+# The documentation front door must exist and link every
+# per-directory README (acceptance criterion of the docs PR).
+for doc in README.md docs/ARCHITECTURE.md; do
+    if [ ! -f "$doc" ]; then
+        echo "check_docs: $doc is missing" >&2
+        fail=1
+        continue
+    fi
+    for sub in src/engine/README.md src/obs/README.md \
+               tools/README.md scenarios/README.md; do
+        if ! grep -qF -- "$sub" "$doc"; then
+            echo "check_docs: $doc does not link $sub" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: documentation drift detected" >&2
+    exit 1
+fi
+echo "check_docs: OK"

@@ -39,9 +39,11 @@ printUsage(const char* prog)
                 "line per file; exit 1 on the first failure\n"
                 "  --metrics FILE\n"
                 "            a metrics JSON dump (bench "
-                "--metrics-full F); prints\n            the "
-                "cost-table cache efficiency table (hits, misses,\n"
-                "            evictions, hit rate)\n"
+                "--metrics-full F or\n            dream_serve "
+                "--metrics F); prints the cost-table cache\n"
+                "            efficiency table and, for serve dumps, "
+                "the rolling\n            latency/SLO telemetry "
+                "table\n"
                 "without --check, prints per-accelerator utilization "
                 "and\nscheduler decision-latency tables for every "
                 "point\n",
@@ -159,6 +161,11 @@ main(int argc, char** argv)
                 std::printf("\n");
             first = false;
             std::printf("--- %s ---\n", file.c_str());
+            // Serve dumps lead with their telemetry table; every
+            // dump gets the cache-efficiency table.
+            if (metrics.has("serve/frames/offered"))
+                std::fputs(tools::serveReport(metrics).c_str(),
+                           stdout);
             std::fputs(tools::cacheReport(metrics).c_str(), stdout);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "dream_prof: %s\n", e.what());

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * dream_serve: the online serving front end. Drives the simulator in
+ * streaming mode through serve::ServeLoop — arrivals are pushed into
+ * a workload::StreamSource one frame at a time, the event loop
+ * advances incrementally as they land, an optional admission gate
+ * rejects or degrades overload, and rolling p50/p99/SLO telemetry
+ * prints per report interval and lands in the metrics JSON that
+ * dream_prof reads.
+ *
+ * Two feeds:
+ *
+ *   dream_serve --replay trace.csv [--verify-offline]
+ *     Re-drives a recorded trace (--record-trace on any bench) in
+ *     stream mode. --verify-offline re-runs the same trace through
+ *     the offline ReplaySource path and exits 1 unless the final
+ *     RunStats match bit for bit — the stream-mode determinism
+ *     anchor, gated in CI.
+ *
+ *   dream_serve --gen default --seed 11 --rate-scale 1.5
+ *     Serves a ScenarioGenerator workload (or a hard-scenario suite
+ *     entry: --gen scenarios/hard_v1.json --entry NAME) for
+ *     sustained-load soak runs; --rate-scale multiplies every task's
+ *     FPS.
+ *
+ * Exit codes: 0 success, 1 verify-offline drift, 2 usage/load error.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_table_cache.h"
+#include "engine/result_sink.h"
+#include "engine/engine.h"
+#include "hw/system.h"
+#include "obs/metrics.h"
+#include "runner/experiment.h"
+#include "runner/trace.h"
+#include "serve/serve_loop.h"
+#include "workload/replay_source.h"
+#include "workload/scenario_gen.h"
+#include "workload/scenario_suite.h"
+#include "workload/stream_source.h"
+
+using namespace dream;
+
+namespace {
+
+struct Options {
+    std::string replayFile;
+    bool verifyOffline = false;
+    std::string genSpec;
+    std::string entry;
+    uint64_t seed = 11;
+    double rateScale = 1.0;
+    std::string system;
+    std::string scheduler;
+    double windowUs = 0.0; // 0 = feed default
+    serve::AdmissionConfig admission;
+    double reportIntervalUs = 2e5;
+    double rollingWindowUs = 5e5;
+    std::string metricsFile;
+    std::string metricsFullFile;
+    std::string outFile;
+    bool quiet = false;
+};
+
+void
+printUsage(const char* prog)
+{
+    std::printf(
+        "usage: %s (--replay FILE | --gen SPEC) [options]\n"
+        "feeds (exactly one):\n"
+        "  --replay FILE    recorded *.trace.csv (--record-trace on\n"
+        "                   any bench); served in stream mode under\n"
+        "                   the recorded identity\n"
+        "  --gen SPEC       'default' (stock generator spec) or a\n"
+        "                   hard-scenario suite JSON path\n"
+        "replay options:\n"
+        "  --verify-offline re-run the offline ReplaySource replay\n"
+        "                   and exit 1 unless RunStats is\n"
+        "                   bit-identical (admission must be off)\n"
+        "gen options:\n"
+        "  --entry NAME     suite entry to serve (default: first)\n"
+        "  --seed S         generator + simulation seed "
+        "(default 11)\n"
+        "  --rate-scale X   multiply every task's FPS by X\n"
+        "  --system NAME    system preset (default: suite's, else "
+        "4K-2WS)\n"
+        "  --scheduler NAME scheduler (default DREAM-Full)\n"
+        "  --window US      execution window (default: suite's, "
+        "else 2e6)\n"
+        "admission control (off unless a bound is set):\n"
+        "  --max-queue N    reject when N frames are live\n"
+        "  --max-backlog-us X\n"
+        "                   bound the projected best-case backlog\n"
+        "  --overload P     reject|degrade (default reject)\n"
+        "telemetry/output:\n"
+        "  --report-interval-us X\n"
+        "                   rolling report spacing (default 2e5)\n"
+        "  --rolling-window-us X\n"
+        "                   rolling window span (default 5e5)\n"
+        "  --metrics FILE   canonical metrics JSON (volatile "
+        "excluded)\n"
+        "  --metrics-full FILE\n"
+        "                   metrics JSON including volatile "
+        "metrics\n"
+        "  --out FILE       one-row result CSV (replay rows carry "
+        "the\n                   recorded identity, for dream_diff)\n"
+        "  --quiet          suppress per-report lines\n",
+        prog);
+}
+
+[[noreturn]] void
+fail(const std::string& what)
+{
+    std::fprintf(stderr, "dream_serve: %s\n", what.c_str());
+    std::exit(2);
+}
+
+double
+parseDouble(const std::string& value, const char* flag)
+{
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size() || !std::isfinite(v))
+        fail(std::string("malformed ") + flag + " value '" + value +
+             "'");
+    return v;
+}
+
+uint64_t
+parseUnsigned(const std::string& value, const char* flag)
+{
+    const bool digits =
+        !value.empty() &&
+        value.find_first_not_of("0123456789") == std::string::npos;
+    errno = 0;
+    const auto v = std::strtoull(value.c_str(), nullptr, 10);
+    if (!digits || errno == ERANGE)
+        fail(std::string("malformed ") + flag + " value '" + value +
+             "'");
+    return v;
+}
+
+Options
+parseArgs(int argc, char** argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc)
+                fail(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else if (arg == "--replay") {
+            opts.replayFile = next("--replay");
+        } else if (arg == "--verify-offline") {
+            opts.verifyOffline = true;
+        } else if (arg == "--gen") {
+            opts.genSpec = next("--gen");
+        } else if (arg == "--entry") {
+            opts.entry = next("--entry");
+        } else if (arg == "--seed") {
+            opts.seed = parseUnsigned(next("--seed"), "--seed");
+        } else if (arg == "--rate-scale") {
+            opts.rateScale =
+                parseDouble(next("--rate-scale"), "--rate-scale");
+            if (opts.rateScale <= 0.0)
+                fail("--rate-scale must be positive");
+        } else if (arg == "--system") {
+            opts.system = next("--system");
+        } else if (arg == "--scheduler") {
+            opts.scheduler = next("--scheduler");
+        } else if (arg == "--window") {
+            opts.windowUs = parseDouble(next("--window"), "--window");
+            if (opts.windowUs <= 0.0)
+                fail("--window must be positive");
+        } else if (arg == "--max-queue") {
+            opts.admission.maxQueueDepth = size_t(
+                parseUnsigned(next("--max-queue"), "--max-queue"));
+        } else if (arg == "--max-backlog-us") {
+            opts.admission.maxBacklogUs = parseDouble(
+                next("--max-backlog-us"), "--max-backlog-us");
+        } else if (arg == "--overload") {
+            const std::string policy = next("--overload");
+            if (policy == "reject")
+                opts.admission.policy = serve::OverloadPolicy::Reject;
+            else if (policy == "degrade")
+                opts.admission.policy =
+                    serve::OverloadPolicy::Degrade;
+            else
+                fail("--overload must be 'reject' or 'degrade'");
+        } else if (arg == "--report-interval-us") {
+            opts.reportIntervalUs =
+                parseDouble(next("--report-interval-us"),
+                            "--report-interval-us");
+        } else if (arg == "--rolling-window-us") {
+            opts.rollingWindowUs = parseDouble(
+                next("--rolling-window-us"), "--rolling-window-us");
+            if (opts.rollingWindowUs <= 0.0)
+                fail("--rolling-window-us must be positive");
+        } else if (arg == "--metrics") {
+            opts.metricsFile = next("--metrics");
+        } else if (arg == "--metrics-full") {
+            opts.metricsFullFile = next("--metrics-full");
+        } else if (arg == "--out") {
+            opts.outFile = next("--out");
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            printUsage(argv[0]);
+            fail("unknown flag '" + arg + "'");
+        }
+    }
+    if (opts.replayFile.empty() == opts.genSpec.empty())
+        fail("exactly one of --replay and --gen is required");
+    if (opts.verifyOffline && opts.replayFile.empty())
+        fail("--verify-offline requires --replay");
+    if (opts.verifyOffline && opts.admission.enabled())
+        fail("--verify-offline requires admission control off "
+             "(admitted load must match the recording)");
+    return opts;
+}
+
+/** The resolved workload one serve session runs. */
+struct Session {
+    workload::Scenario scenario;
+    hw::SystemConfig system;
+    std::string systemName;
+    runner::SchedKind scheduler = runner::SchedKind::DreamFull;
+    uint64_t seed = 11;
+    double windowUs = runner::kDefaultWindowUs;
+    size_t index = 0; ///< result-row index (recorded for replays)
+    /** Replay feed (null for the generative feed). */
+    std::shared_ptr<const workload::FrameTrace> trace;
+};
+
+hw::SystemPreset
+resolveSystem(const std::string& name)
+{
+    for (const auto preset : hw::allSystemPresets()) {
+        if (hw::toString(preset) == name)
+            return preset;
+    }
+    fail("unknown system preset '" + name + "'");
+}
+
+runner::SchedKind
+resolveScheduler(const std::string& name)
+{
+    for (const auto kind : runner::allSchedKinds()) {
+        if (runner::toString(kind) == name)
+            return kind;
+    }
+    fail("unknown scheduler '" + name + "'");
+}
+
+/** Resolve a recorded scenario name ("AR_Call", "VR_Gaming@p0.9"),
+ *  mirroring bench/trace_replay. */
+workload::Scenario
+resolveScenario(const std::string& name)
+{
+    std::string base = name;
+    double cascade_prob = 0.5;
+    const size_t at = name.rfind("@p");
+    if (at != std::string::npos) {
+        char* end = nullptr;
+        cascade_prob = std::strtod(name.c_str() + at + 2, &end);
+        if (end == name.c_str() + name.size())
+            base = name.substr(0, at);
+        else
+            cascade_prob = 0.5; // "@p" was part of the name itself
+    }
+    for (const auto preset : workload::allScenarioPresets()) {
+        if (workload::toString(preset) == base)
+            return workload::makeScenario(preset, cascade_prob);
+    }
+    fail("cannot replay scenario '" + name +
+         "': not a Table 3 preset (generated scenarios are not "
+         "replayable from metadata)");
+}
+
+std::string
+requireMeta(const workload::FrameTrace& trace,
+            const std::string& file, const std::string& key)
+{
+    const std::string value = trace.metaValue(key);
+    if (value.empty())
+        fail(file + ": metadata is missing '" + key +
+             "' (was the trace recorded with --record-trace?)");
+    return value;
+}
+
+Session
+loadReplaySession(const Options& opts)
+{
+    Session s;
+    auto trace = std::make_shared<workload::FrameTrace>();
+    try {
+        *trace = runner::readFrameTraceCsv(opts.replayFile);
+    } catch (const std::runtime_error& e) {
+        fail(e.what());
+    }
+    const std::string& file = opts.replayFile;
+    s.scenario =
+        resolveScenario(requireMeta(*trace, file, "scenario"));
+    s.systemName = requireMeta(*trace, file, "system");
+    s.system = hw::makeSystem(resolveSystem(s.systemName));
+    s.scheduler =
+        resolveScheduler(requireMeta(*trace, file, "scheduler"));
+    if (!trace->metaValue("params").empty())
+        fail(file + ": parameterised grid points (params=" +
+             trace->metaValue("params") +
+             ") are not replayable from metadata");
+    s.seed = parseUnsigned(requireMeta(*trace, file, "seed"), "seed");
+    s.windowUs = parseDouble(requireMeta(*trace, file, "window_us"),
+                             "window_us");
+    if (s.windowUs <= 0.0)
+        fail(file + ": malformed window_us metadata");
+    s.index = size_t(
+        parseUnsigned(requireMeta(*trace, file, "index"), "index"));
+    s.trace = std::move(trace);
+    return s;
+}
+
+Session
+loadGenSession(const Options& opts)
+{
+    Session s;
+    workload::ScenarioGenSpec spec;
+    hw::SystemPreset system = hw::SystemPreset::Sys4k2Ws;
+    s.windowUs = runner::kDefaultWindowUs;
+    uint64_t gen_seed = opts.seed;
+
+    if (opts.genSpec != "default") {
+        workload::HardScenarioSuite suite;
+        try {
+            suite = workload::loadHardScenarioSuite(opts.genSpec);
+        } catch (const std::runtime_error& e) {
+            fail(e.what());
+        }
+        if (suite.entries.empty())
+            fail(opts.genSpec + ": suite has no entries");
+        const workload::HardScenarioEntry* entry =
+            &suite.entries.front();
+        if (!opts.entry.empty()) {
+            entry = nullptr;
+            for (const auto& e : suite.entries) {
+                if (e.name == opts.entry)
+                    entry = &e;
+            }
+            if (!entry)
+                fail(opts.genSpec + ": no entry named '" +
+                     opts.entry + "'");
+        }
+        spec = entry->spec;
+        gen_seed = entry->genSeed;
+        system = resolveSystem(suite.system);
+        s.windowUs = suite.windowUs;
+    } else if (!opts.entry.empty()) {
+        fail("--entry requires a suite JSON --gen SPEC");
+    }
+
+    if (!opts.system.empty())
+        system = resolveSystem(opts.system);
+    if (opts.windowUs > 0.0)
+        s.windowUs = opts.windowUs;
+    s.systemName = hw::toString(system);
+    s.system = hw::makeSystem(system);
+    s.scheduler = opts.scheduler.empty()
+                      ? runner::SchedKind::DreamFull
+                      : resolveScheduler(opts.scheduler);
+    s.seed = opts.seed;
+    s.scenario = workload::ScenarioGenerator(spec).generate(gen_seed);
+    if (opts.rateScale != 1.0) {
+        for (auto& task : s.scenario.tasks)
+            task.fps *= opts.rateScale;
+        char suffix[32];
+        std::snprintf(suffix, sizeof suffix, "@x%g", opts.rateScale);
+        s.scenario.name += suffix;
+    }
+    return s;
+}
+
+/** Push every root frame of @p source, in arrival order, and close
+ *  the stream — the in-process stand-in for a live ingest feed. */
+void
+feedStream(workload::StreamSource& stream,
+           const workload::ArrivalSource& source, double window_us)
+{
+    auto frames = source.rootFrames(window_us);
+    std::stable_sort(frames.begin(), frames.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.arrivalUs < b.arrivalUs;
+                     });
+    for (auto& frame : frames)
+        stream.push(std::move(frame));
+    stream.close();
+}
+
+engine::RunRecord
+makeRecord(const Session& session, const sim::RunStats& stats)
+{
+    engine::RunRecord record;
+    record.index = session.index;
+    record.scenario = session.scenario.name;
+    record.system = session.systemName;
+    record.scheduler = runner::toString(session.scheduler);
+    record.seed = session.seed;
+    record.windowUs = session.windowUs;
+    engine::fillMetrics(record, stats);
+    return record;
+}
+
+/** Exit-1 drift check: stream-mode stats vs the offline replay. */
+bool
+verifyOffline(const Session& session,
+              const workload::ReplaySource& replay,
+              const sim::RunStats& streamed)
+{
+    sim::SimConfig config;
+    config.windowUs = session.windowUs;
+    config.seed = session.seed;
+    config.arrivals = &replay;
+    sim::Simulator sim(session.system, session.scenario,
+                       *cost::acquireCostTable(session.system,
+                                               session.scenario),
+                       config);
+    const auto sched = runner::makeScheduler(session.scheduler);
+    const sim::RunStats offline = sim.run(*sched);
+
+    // Byte-level comparison through the canonical serialisations:
+    // the per-frame trace CSV covers every admitted frame's exact
+    // doubles; the result row covers the aggregates.
+    const std::string stream_frames =
+        runner::frameTraceCsv(streamed, session.scenario);
+    const std::string offline_frames =
+        runner::frameTraceCsv(offline, session.scenario);
+    std::ostringstream stream_row, offline_row;
+    {
+        engine::CsvSink a(stream_row);
+        a.write(makeRecord(session, streamed));
+        a.close();
+        engine::CsvSink b(offline_row);
+        b.write(makeRecord(session, offline));
+        b.close();
+    }
+    const bool frames_ok = stream_frames == offline_frames;
+    const bool rows_ok = stream_row.str() == offline_row.str();
+    if (frames_ok && rows_ok) {
+        std::printf("verify-offline OK: %s (%zu frames, row and "
+                    "frame trace bit-identical)\n",
+                    session.scenario.name.c_str(),
+                    streamed.frames.size());
+        return true;
+    }
+    std::fprintf(stderr,
+                 "dream_serve: verify-offline DRIFT: %s (frame "
+                 "trace %s, result row %s)\n",
+                 session.scenario.name.c_str(),
+                 frames_ok ? "identical" : "differs",
+                 rows_ok ? "identical" : "differs");
+    return false;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    const Session session = opts.replayFile.empty()
+                                ? loadGenSession(opts)
+                                : loadReplaySession(opts);
+
+    obs::MetricsRegistry metrics;
+    const bool want_metrics =
+        !opts.metricsFile.empty() || !opts.metricsFullFile.empty();
+    const auto costs = cost::acquireCostTable(
+        session.system, session.scenario,
+        want_metrics ? &metrics : nullptr);
+
+    serve::ServeConfig config;
+    config.windowUs = session.windowUs;
+    config.seed = session.seed;
+    config.reportIntervalUs = opts.reportIntervalUs;
+    config.rollingSpanUs = opts.rollingWindowUs;
+    config.admission = opts.admission;
+    config.metrics = want_metrics ? &metrics : nullptr;
+    config.log = opts.quiet ? nullptr : &std::cout;
+
+    // The feed: replay re-injects the recorded arrivals; gen
+    // materialises the scaled generative workload. Either way the
+    // frames flow through the same StreamSource ingest queue.
+    std::unique_ptr<workload::ReplaySource> replay;
+    std::unique_ptr<workload::FrameSource> generative;
+    const workload::ArrivalSource* delegate = nullptr;
+    if (session.trace) {
+        replay = std::make_unique<workload::ReplaySource>(
+            session.scenario, session.seed, *session.trace);
+        delegate = replay.get();
+    } else {
+        generative = std::make_unique<workload::FrameSource>(
+            session.scenario, session.seed);
+        delegate = generative.get();
+    }
+
+    workload::StreamSource stream(*delegate);
+    feedStream(stream, *delegate, session.windowUs);
+
+    serve::ServeLoop loop(session.system, session.scenario, *costs,
+                          config);
+    const auto sched = runner::makeScheduler(session.scheduler);
+    serve::ServeResult result;
+    try {
+        result = loop.run(*sched, stream);
+    } catch (const std::exception& e) {
+        fail(e.what());
+    }
+
+    const engine::RunRecord record = makeRecord(session, result.stats);
+    std::printf("[serve] done: %s/%s/%s seed=%llu frames=%llu "
+                "violated=%llu dropped=%llu rejected=%llu "
+                "degraded=%llu uxcost=%.4f\n",
+                record.scenario.c_str(), record.system.c_str(),
+                record.scheduler.c_str(),
+                (unsigned long long) record.seed,
+                (unsigned long long) record.totalFrames,
+                (unsigned long long) record.violatedFrames,
+                (unsigned long long) record.droppedFrames,
+                (unsigned long long) result.admission.rejected,
+                (unsigned long long) result.admission.degraded,
+                record.uxCost);
+
+    if (!opts.outFile.empty()) {
+        engine::CsvSink sink(opts.outFile);
+        sink.write(record);
+        sink.close();
+    }
+    const auto dumpMetrics = [&](const std::string& path,
+                                 bool include_volatile) {
+        if (path.empty())
+            return;
+        std::ofstream out(path);
+        if (!out.is_open())
+            fail("cannot open metrics file: " + path);
+        metrics.writeJson(out, include_volatile);
+    };
+    dumpMetrics(opts.metricsFile, false);
+    dumpMetrics(opts.metricsFullFile, true);
+
+    if (opts.verifyOffline &&
+        !verifyOffline(session, *replay, result.stats))
+        return 1;
+    return 0;
+}
