@@ -588,7 +588,10 @@ Simulator::advanceTo(double limit_us)
 RunStats
 Simulator::finishStream()
 {
-    assert(streaming_ && "finishStream outside a stream");
+    // Idempotent: a finished stream just returns its stats again, so
+    // N-device serve loops may be finalized defensively in any order.
+    if (!streaming_)
+        return stats_;
     advanceTo(config_.windowUs);
     finalizeStats();
     streaming_ = false;

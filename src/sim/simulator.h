@@ -106,7 +106,9 @@ public:
      */
     void advanceTo(double limit_us);
 
-    /** Drain remaining events to the window end and finalize stats. */
+    /** Drain remaining events to the window end and finalize stats.
+     *  Idempotent: calling again after the stream has finished
+     *  returns the same finalized stats without re-running. */
     RunStats finishStream();
 
     /** Virtual time of the last processed event (us). */

@@ -697,6 +697,57 @@ serveReport(const MetricsProfile& metrics)
     pctRow("rolling reject rate", "serve/rolling/reject_rate");
     gaugeRow("admission backlog (us)", "serve/backlog_us", 1);
     out << t.str();
+
+    // Cluster runs (dream_serve --devices N) namespace each device's
+    // telemetry under serve/dev<k>/; the plain serve/* keys above are
+    // then the cluster rollup. Render the per-device breakdown too.
+    if (metrics.has("serve/dev0/frames/offered")) {
+        out << '\n';
+        runner::Table c({"device", "offered", "admitted", "degraded",
+                         "rejected", "p99 (us)", "viol", "backlog",
+                         "fairness"});
+        for (size_t k = 0;; ++k) {
+            const std::string p =
+                "serve/dev" + std::to_string(k) + "/";
+            if (!metrics.has(p + "frames/offered"))
+                break;
+            const auto cell = [&](const std::string& name,
+                                  int digits) {
+                return metrics.hasGauge(name)
+                           ? runner::fmt(metrics.gauge(name), digits)
+                           : std::string("n/a");
+            };
+            c.addRow(
+                {"dev" + std::to_string(k),
+                 runner::fmt(metrics.counter(p + "frames/offered"),
+                             0),
+                 runner::fmt(metrics.counter(p + "frames/admitted"),
+                             0),
+                 runner::fmt(metrics.counter(p + "frames/degraded"),
+                             0),
+                 runner::fmt(metrics.counter(p + "frames/rejected"),
+                             0),
+                 cell(p + "rolling/latency_p99_us", 1),
+                 metrics.hasGauge(p + "rolling/violation_rate")
+                     ? runner::fmtPct(
+                           metrics.gauge(p +
+                                         "rolling/violation_rate"),
+                           1)
+                     : std::string("n/a"),
+                 cell(p + "backlog_us", 0),
+                 cell(p + "fairness_ratio", 3)});
+        }
+        out << c.str();
+        if (metrics.hasGauge("serve/cluster/devices")) {
+            char line[96];
+            std::snprintf(
+                line, sizeof line,
+                "cluster: %d devices, fairness spread %.4f\n",
+                int(metrics.gauge("serve/cluster/devices")),
+                metrics.gauge("serve/cluster/fairness_spread", 1.0));
+            out << line;
+        }
+    }
     return out.str();
 }
 

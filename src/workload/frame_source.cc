@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "workload/rng.h"
 
@@ -113,6 +114,25 @@ FrameSource::rootFrames(double window_us) const
         }
     }
     return frames;
+}
+
+FrameSpec
+FrameSource::rootFrame(TaskId task, int frame_idx,
+                       double arrival_us) const
+{
+    if (task < 0 || size_t(task) >= scenario_.tasks.size())
+        throw std::invalid_argument(
+            "rootFrame: task id out of range");
+    const TaskSpec& spec = scenario_.tasks[size_t(task)];
+    if (spec.dependsOn != kNoParent)
+        throw std::invalid_argument(
+            "rootFrame: dependent tasks are released by their "
+            "parent's cascade gate, not by ingest");
+    if (!std::isfinite(arrival_us) || arrival_us < 0.0)
+        throw std::invalid_argument(
+            "rootFrame: arrival time must be finite and >= 0");
+    return makeFrame(task, frame_idx, arrival_us,
+                     arrival_us + spec.periodUs());
 }
 
 FrameSpec

@@ -100,6 +100,18 @@ public:
                          double parent_completion_us) const override;
 
     /**
+     * Materialise one externally-timed root frame — the live-ingest
+     * entry point (dream_serve --ingest). The deadline is one period
+     * after the arrival, exactly like generated frames; path and
+     * cascade gates come from the same per-frame RNG, so an ingested
+     * (task, frame_idx) is the frame rootFrames() would have
+     * generated at that time. Throws std::invalid_argument when
+     * @p task is out of range or not a root task.
+     */
+    FrameSpec rootFrame(TaskId task, int frame_idx,
+                        double arrival_us) const;
+
+    /**
      * Materialise the execution path of @p task for frame
      * @p frame_idx (exposed for testing).
      */

@@ -1,0 +1,60 @@
+#include "workload/session_demux.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dream {
+namespace workload {
+
+SessionDemux::SessionDemux(const ArrivalSource& delegate,
+                           size_t devices)
+{
+    if (devices == 0)
+        throw std::invalid_argument(
+            "SessionDemux needs at least one device");
+    streams_.reserve(devices);
+    for (size_t k = 0; k < devices; ++k)
+        streams_.push_back(std::make_unique<StreamSource>(delegate));
+}
+
+StreamSource&
+SessionDemux::stream(size_t device)
+{
+    return *streams_.at(device);
+}
+
+int
+SessionDemux::assignment(TaskId session) const
+{
+    if (session < 0 || size_t(session) >= assignment_.size())
+        return -1;
+    return assignment_[size_t(session)];
+}
+
+size_t
+SessionDemux::push(FrameSpec frame, size_t device_if_new)
+{
+    if (device_if_new >= streams_.size())
+        throw std::out_of_range("SessionDemux: no such device");
+    if (frame.task < 0)
+        throw std::invalid_argument(
+            "SessionDemux routes root frames (task >= 0)");
+    if (size_t(frame.task) >= assignment_.size())
+        assignment_.resize(size_t(frame.task) + 1, -1);
+    int& slot = assignment_[size_t(frame.task)];
+    if (slot < 0)
+        slot = int(device_if_new);
+    const size_t device = size_t(slot);
+    streams_[device]->push(std::move(frame));
+    return device;
+}
+
+void
+SessionDemux::closeAll()
+{
+    for (auto& stream : streams_)
+        stream->close();
+}
+
+} // namespace workload
+} // namespace dream

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Session-granular demux over one ArrivalSource: fans a single
+ * arrival stream out to N per-device StreamSources for cluster
+ * serving. A session is one root task — every frame of the task (and
+ * every cascade child materialised inside that device's simulator,
+ * via the delegated childFrame) stays on the device the session's
+ * first frame was routed to, so a cascade/app never straddles
+ * devices.
+ */
+
+#ifndef DREAM_WORKLOAD_SESSION_DEMUX_H
+#define DREAM_WORKLOAD_SESSION_DEMUX_H
+
+#include <memory>
+#include <vector>
+
+#include "workload/stream_source.h"
+
+namespace dream {
+namespace workload {
+
+/**
+ * N StreamSources behind one routing table. The caller (a
+ * serve::Cluster) decides the device of each *new* session; the demux
+ * enforces session stickiness: once a root task is pinned, later
+ * frames of the same task ignore the caller's suggestion. Determinism
+ * rides on the callers: assignments depend only on the push sequence,
+ * never on wall time.
+ */
+class SessionDemux {
+public:
+    /** @p delegate materialises cascade children for every device
+     *  stream (and must outlive this demux). */
+    SessionDemux(const ArrivalSource& delegate, size_t devices);
+
+    size_t devices() const { return streams_.size(); }
+
+    /** The per-device ingest stream a device's serve loop consumes. */
+    StreamSource& stream(size_t device);
+
+    /** Device of @p session, or -1 when it has not been routed. */
+    int assignment(TaskId session) const;
+
+    /** Per-root-task routing table (kept indexable by TaskId). */
+    const std::vector<int>& assignments() const { return assignment_; }
+
+    /**
+     * Route one root frame: a frame of a new session pins the session
+     * to @p device_if_new; a frame of a pinned session follows its
+     * pin. Returns the device the frame was pushed to. Throws
+     * std::out_of_range when @p device_if_new is not a device.
+     */
+    size_t push(FrameSpec frame, size_t device_if_new);
+
+    /** Close every device stream (end of the intake stream). */
+    void closeAll();
+
+private:
+    std::vector<std::unique_ptr<StreamSource>> streams_;
+    std::vector<int> assignment_;  ///< TaskId -> device, -1 unrouted
+};
+
+} // namespace workload
+} // namespace dream
+
+#endif // DREAM_WORKLOAD_SESSION_DEMUX_H

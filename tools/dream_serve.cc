@@ -1,27 +1,40 @@
 /**
  * @file
- * dream_serve: the online serving front end. Drives the simulator in
- * streaming mode through serve::ServeLoop — arrivals are pushed into
- * a workload::StreamSource one frame at a time, the event loop
- * advances incrementally as they land, an optional admission gate
- * rejects or degrades overload, and rolling p50/p99/SLO telemetry
- * prints per report interval and lands in the metrics JSON that
- * dream_prof reads.
+ * dream_serve: the online serving front end. Drives N per-device
+ * DREAM instances (serve::Cluster) in streaming mode — arrivals are
+ * pushed into a workload::StreamSource one frame at a time, a
+ * serve::Dispatcher routes each session to a device, every device's
+ * event loop advances incrementally as frames land, an optional
+ * admission gate rejects or degrades overload per device, and
+ * rolling p50/p99/SLO telemetry prints per report interval and lands
+ * in the metrics JSON that dream_prof reads. A single device
+ * (--devices 1, the default) is the N=1 case of the same code path.
  *
- * Two feeds:
+ * Three feeds:
  *
  *   dream_serve --replay trace.csv [--verify-offline]
  *     Re-drives a recorded trace (--record-trace on any bench) in
  *     stream mode. --verify-offline re-runs the same trace through
  *     the offline ReplaySource path and exits 1 unless the final
  *     RunStats match bit for bit — the stream-mode determinism
- *     anchor, gated in CI.
+ *     anchor, gated in CI (single-device only: an N-device run has
+ *     no single offline simulator to anchor to).
  *
  *   dream_serve --gen default --seed 11 --rate-scale 1.5
  *     Serves a ScenarioGenerator workload (or a hard-scenario suite
  *     entry: --gen scenarios/hard_v1.json --entry NAME) for
  *     sustained-load soak runs; --rate-scale multiplies every task's
  *     FPS.
+ *
+ *   dream_serve --ingest - [--gen SPEC]
+ *     Reads line-delimited arrival records from stdin — the first
+ *     step toward a socket/IPC feed. Each line is
+ *     "task frame_idx arrival_us" (whitespace- or comma-separated;
+ *     '#' comments and blank lines skipped), materialised through
+ *     the generative FrameSource of the --gen scenario (default:
+ *     'default') and pushed onto StreamSource::push. Out-of-order
+ *     arrivals or unknown tasks are clean errors (exit 2), never
+ *     aborts.
  *
  * Exit codes: 0 success, 1 verify-offline drift, 2 usage/load error.
  */
@@ -47,6 +60,8 @@
 #include "obs/metrics.h"
 #include "runner/experiment.h"
 #include "runner/trace.h"
+#include "serve/cluster.h"
+#include "serve/dispatcher.h"
 #include "serve/serve_loop.h"
 #include "workload/replay_source.h"
 #include "workload/scenario_gen.h"
@@ -61,6 +76,10 @@ struct Options {
     std::string replayFile;
     bool verifyOffline = false;
     std::string genSpec;
+    std::string ingest;
+    size_t devices = 1;
+    serve::RouterPolicy router =
+        serve::RouterPolicy::FinishTimeFairness;
     std::string entry;
     uint64_t seed = 11;
     double rateScale = 1.0;
@@ -80,17 +99,26 @@ void
 printUsage(const char* prog)
 {
     std::printf(
-        "usage: %s (--replay FILE | --gen SPEC) [options]\n"
-        "feeds (exactly one):\n"
+        "usage: %s (--replay FILE | --gen SPEC | --ingest -) "
+        "[options]\n"
+        "feeds:\n"
         "  --replay FILE    recorded *.trace.csv (--record-trace on\n"
         "                   any bench); served in stream mode under\n"
         "                   the recorded identity\n"
         "  --gen SPEC       'default' (stock generator spec) or a\n"
         "                   hard-scenario suite JSON path\n"
+        "  --ingest -       line-delimited arrivals from stdin\n"
+        "                   ('task frame_idx arrival_us'), onto the\n"
+        "                   --gen scenario (default: 'default')\n"
+        "cluster:\n"
+        "  --devices N      per-device DREAM instances (default 1)\n"
+        "  --router POLICY  round_robin | least_loaded |\n"
+        "                   finish_time_fairness (default)\n"
         "replay options:\n"
         "  --verify-offline re-run the offline ReplaySource replay\n"
         "                   and exit 1 unless RunStats is\n"
-        "                   bit-identical (admission must be off)\n"
+        "                   bit-identical (admission must be off,\n"
+        "                   --devices 1 only)\n"
         "gen options:\n"
         "  --entry NAME     suite entry to serve (default: first)\n"
         "  --seed S         generator + simulation seed "
@@ -101,7 +129,7 @@ printUsage(const char* prog)
         "  --scheduler NAME scheduler (default DREAM-Full)\n"
         "  --window US      execution window (default: suite's, "
         "else 2e6)\n"
-        "admission control (off unless a bound is set):\n"
+        "admission control (off unless a bound is set; per device):\n"
         "  --max-queue N    reject when N frames are live\n"
         "  --max-backlog-us X\n"
         "                   bound the projected best-case backlog\n"
@@ -174,6 +202,21 @@ parseArgs(int argc, char** argv)
             opts.verifyOffline = true;
         } else if (arg == "--gen") {
             opts.genSpec = next("--gen");
+        } else if (arg == "--ingest") {
+            opts.ingest = next("--ingest");
+            if (opts.ingest != "-")
+                fail("--ingest supports only '-' (stdin) for now");
+        } else if (arg == "--devices") {
+            opts.devices = size_t(
+                parseUnsigned(next("--devices"), "--devices"));
+            if (opts.devices == 0)
+                fail("--devices must be at least 1");
+        } else if (arg == "--router") {
+            const std::string name = next("--router");
+            if (!serve::parseRouterPolicy(name, &opts.router))
+                fail("unknown --router '" + name +
+                     "' (round_robin | least_loaded | "
+                     "finish_time_fairness)");
         } else if (arg == "--entry") {
             opts.entry = next("--entry");
         } else if (arg == "--seed") {
@@ -228,13 +271,24 @@ parseArgs(int argc, char** argv)
             fail("unknown flag '" + arg + "'");
         }
     }
-    if (opts.replayFile.empty() == opts.genSpec.empty())
-        fail("exactly one of --replay and --gen is required");
+    if (!opts.ingest.empty()) {
+        if (!opts.replayFile.empty())
+            fail("--ingest feeds the generative scenario; it cannot "
+                 "be combined with --replay");
+        if (opts.genSpec.empty())
+            opts.genSpec = "default";
+    } else if (opts.replayFile.empty() == opts.genSpec.empty()) {
+        fail("exactly one of --replay, --gen and --ingest is "
+             "required");
+    }
     if (opts.verifyOffline && opts.replayFile.empty())
         fail("--verify-offline requires --replay");
     if (opts.verifyOffline && opts.admission.enabled())
         fail("--verify-offline requires admission control off "
              "(admitted load must match the recording)");
+    if (opts.verifyOffline && opts.devices != 1)
+        fail("--verify-offline requires --devices 1 (an N-device "
+             "run has no single offline run to anchor to)");
     return opts;
 }
 
@@ -414,6 +468,51 @@ feedStream(workload::StreamSource& stream,
     stream.close();
 }
 
+/**
+ * The stdin ingest frontend: one arrival per line, materialised
+ * through the generative FrameSource so paths and cascade gates are
+ * the deterministic per-frame draws. Malformed lines, unknown or
+ * dependent tasks, and out-of-order arrivals are reported with their
+ * line number and exit 2 — StreamSource's ordering contract surfaces
+ * as a clean error, never an abort.
+ */
+void
+feedFromStdin(workload::StreamSource& stream,
+              const workload::FrameSource& source)
+{
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(std::cin, line)) {
+        ++lineno;
+        std::replace(line.begin(), line.end(), ',', ' ');
+        std::istringstream in(line);
+        long task = 0;
+        long frame_idx = 0;
+        double arrival_us = 0.0;
+        std::string head;
+        if (!(in >> head) || head[0] == '#')
+            continue; // blank or comment line
+        char* end = nullptr;
+        errno = 0;
+        task = std::strtol(head.c_str(), &end, 10);
+        std::string trailing;
+        if (end != head.c_str() + head.size() || errno == ERANGE ||
+            !(in >> frame_idx >> arrival_us) || (in >> trailing))
+            fail("stdin:" + std::to_string(lineno) +
+                 ": expected 'task frame_idx arrival_us', got '" +
+                 line + "'");
+        try {
+            stream.push(source.rootFrame(workload::TaskId(task),
+                                         int(frame_idx),
+                                         arrival_us));
+        } catch (const std::exception& e) {
+            fail("stdin:" + std::to_string(lineno) + ": " +
+                 e.what());
+        }
+    }
+    stream.close();
+}
+
 engine::RunRecord
 makeRecord(const Session& session, const sim::RunStats& stats)
 {
@@ -496,7 +595,10 @@ main(int argc, char** argv)
         session.system, session.scenario,
         want_metrics ? &metrics : nullptr);
 
-    serve::ServeConfig config;
+    serve::ClusterConfig cluster_config;
+    cluster_config.devices = opts.devices;
+    cluster_config.router = opts.router;
+    serve::ServeConfig& config = cluster_config.serve;
     config.windowUs = session.windowUs;
     config.seed = session.seed;
     config.reportIntervalUs = opts.reportIntervalUs;
@@ -506,8 +608,9 @@ main(int argc, char** argv)
     config.log = opts.quiet ? nullptr : &std::cout;
 
     // The feed: replay re-injects the recorded arrivals; gen
-    // materialises the scaled generative workload. Either way the
-    // frames flow through the same StreamSource ingest queue.
+    // materialises the scaled generative workload; ingest reads
+    // stdin. Either way the frames flow through the same intake
+    // StreamSource, which the cluster demuxes per device.
     std::unique_ptr<workload::ReplaySource> replay;
     std::unique_ptr<workload::FrameSource> generative;
     const workload::ArrivalSource* delegate = nullptr;
@@ -521,20 +624,47 @@ main(int argc, char** argv)
         delegate = generative.get();
     }
 
-    workload::StreamSource stream(*delegate);
-    feedStream(stream, *delegate, session.windowUs);
+    workload::StreamSource intake(*delegate);
+    if (!opts.ingest.empty())
+        feedFromStdin(intake, *generative);
+    else
+        feedStream(intake, *delegate, session.windowUs);
 
-    serve::ServeLoop loop(session.system, session.scenario, *costs,
-                          config);
-    const auto sched = runner::makeScheduler(session.scheduler);
-    serve::ServeResult result;
+    serve::Cluster cluster(session.system, session.scenario, *costs,
+                           cluster_config);
+    serve::ClusterResult result;
     try {
-        result = loop.run(*sched, stream);
+        result = cluster.run(
+            [&] { return runner::makeScheduler(session.scheduler); },
+            intake);
     } catch (const std::exception& e) {
         fail(e.what());
     }
 
     const engine::RunRecord record = makeRecord(session, result.stats);
+    if (opts.devices > 1) {
+        for (size_t k = 0; k < result.devices.size(); ++k) {
+            const serve::ServeResult& device = result.devices[k];
+            const double ratio = result.fairnessRatio[k];
+            std::printf("[serve] dev%zu: frames=%llu "
+                        "rejected=%llu degraded=%llu fairness=%s\n",
+                        k,
+                        (unsigned long long)
+                            device.stats.totalFrames(),
+                        (unsigned long long)
+                            device.admission.rejected,
+                        (unsigned long long)
+                            device.admission.degraded,
+                        std::isfinite(ratio)
+                            ? std::to_string(ratio).c_str()
+                            : "n/a");
+        }
+        std::printf("[serve] cluster: devices=%zu router=%s "
+                    "fairness_spread=%.4f\n",
+                    result.devices.size(),
+                    serve::toString(cluster_config.router).c_str(),
+                    result.fairnessSpread);
+    }
     std::printf("[serve] done: %s/%s/%s seed=%llu frames=%llu "
                 "violated=%llu dropped=%llu rejected=%llu "
                 "degraded=%llu uxcost=%.4f\n",
